@@ -1,0 +1,32 @@
+"""Bench: reproduce Fig. 1 — tiling-size effect on cuBLASXt dgemm.
+
+Paper claim: performance rises as T shrinks (better overlap) until one
+or two maxima, then degrades rapidly; a static tile loses up to ~9-15%
+vs the per-problem optimum, and break-points differ across testbeds
+and problem sizes.
+"""
+
+from repro.experiments import fig1_tiling_effect
+
+from conftest import emit
+
+
+def test_fig1_tiling_effect(benchmark, bench_scale, results_dir):
+    result = benchmark.pedantic(
+        lambda: fig1_tiling_effect.run(scale=bench_scale),
+        rounds=1, iterations=1,
+    )
+    emit(results_dir, "fig1_tiling_effect", fig1_tiling_effect.render(result))
+
+    # Shape assertions (the claims, not the absolute numbers).
+    for series in result.series:
+        # Interior maximum: the optimum is not the smallest tile, and
+        # some larger tile is measurably worse than the optimum.
+        assert series.t_opt > min(series.tiles)
+        tail = [g for t, g in zip(series.tiles, series.gflops)
+                if t > series.t_opt]
+        assert tail and min(tail) < 0.95 * series.gflops_opt
+    # Break-points vary across problem sizes / machines.
+    assert len({(s.t_opt) for s in result.series}) > 1
+    # The static tile loses performance on at least one problem.
+    assert max(s.static_slowdown_pct for s in result.series) > 3.0

@@ -1,0 +1,43 @@
+"""Bench: reproduce Fig. 4 — BTS vs CSO prediction-error violins.
+
+Paper claims: on daxpy the BTS model achieves 1-2% median error while
+CSO misses the bidirectional slowdown; on no-reuse gemm (cuBLASXt) BTS
+has clearly smaller error spread than CSO, which is biased toward
+underprediction on the high-slowdown testbed.
+"""
+
+import numpy as np
+
+from repro.experiments import fig4_bts_validation
+
+from conftest import emit
+
+
+def test_fig4_bts_validation(benchmark, bench_scale, results_dir):
+    result = benchmark.pedantic(
+        lambda: fig4_bts_validation.run(scale=bench_scale),
+        rounds=1, iterations=1,
+    )
+    emit(results_dir, "fig4_bts_validation",
+         fig4_bts_validation.render(result))
+
+    def median_abs(machine, routine, model):
+        return float(np.median(np.abs(
+            result.samples[(machine, routine, model)])))
+
+    for machine in ("testbed_i", "testbed_ii"):
+        # daxpy: BTS within a few percent, far tighter than CSO.
+        assert median_abs(machine, "daxpy", "bts") < 5.0
+        assert median_abs(machine, "daxpy", "bts") < \
+            median_abs(machine, "daxpy", "cso")
+        # gemm: BTS median within ~15% (paper: 10-15%), beating CSO.
+        for routine in ("dgemm", "sgemm"):
+            assert median_abs(machine, routine, "bts") < 15.0
+            assert median_abs(machine, routine, "bts") <= \
+                median_abs(machine, routine, "cso") + 1.0
+    # CSO's error spread is several times wider than BTS's on gemm
+    # (the paper shows the same ordering; the error *sign* depends on
+    # the compute/transfer regime — see EXPERIMENTS.md).
+    for routine in ("dgemm", "sgemm"):
+        assert median_abs("testbed_ii", routine, "cso") > \
+            3.0 * median_abs("testbed_ii", routine, "bts")

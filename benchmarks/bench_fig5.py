@@ -1,0 +1,32 @@
+"""Bench: reproduce Fig. 5 — DR vs CSO on the CoCoPeLia reuse library.
+
+Paper claims: the DR model reaches a median error of a few percent
+with a tail of positive (over-)estimations, while CSO — blind to data
+reuse and kernel non-linearity — is far off.
+"""
+
+import numpy as np
+
+from repro.experiments import fig5_dr_validation
+
+from conftest import emit
+
+
+def test_fig5_dr_validation(benchmark, bench_scale, results_dir):
+    result = benchmark.pedantic(
+        lambda: fig5_dr_validation.run(scale=bench_scale),
+        rounds=1, iterations=1,
+    )
+    emit(results_dir, "fig5_dr_validation", fig5_dr_validation.render(result))
+
+    for machine in ("testbed_i", "testbed_ii"):
+        for routine in ("dgemm", "sgemm"):
+            dr = np.asarray(result.samples[(machine, routine, "dr")])
+            cso = np.asarray(result.samples[(machine, routine, "cso")])
+            # DR median within ~10% (paper: 2-5%).
+            assert abs(np.median(dr)) < 10.0
+            # DR is an order tighter than CSO.
+            assert np.median(np.abs(dr)) < 0.25 * np.median(np.abs(cso))
+            # The error tail is positive (overestimations), as in the
+            # paper's Fig. 5 violins.
+            assert np.percentile(dr, 95) > abs(np.percentile(dr, 5))

@@ -1,0 +1,33 @@
+"""Bench: reproduce Fig. 6 — tiling-size selection validation.
+
+Paper claims (Testbed II): the empirically optimal tile beats the
+static T=2048 by a median of several percent (up to ~20%); the
+CoCoPeLia models select tiles achieving nearly all of that, with the
+DR model (Eq. 5) closest to T_opt.
+"""
+
+import numpy as np
+
+from repro.experiments import fig6_tile_selection
+
+from conftest import emit
+
+
+def test_fig6_tile_selection(benchmark, bench_scale, results_dir):
+    result = benchmark.pedantic(
+        lambda: fig6_tile_selection.run(scale=bench_scale),
+        rounds=1, iterations=1,
+    )
+    emit(results_dir, "fig6_tile_selection", fig6_tile_selection.render(result))
+
+    for routine in result.rows_by_routine:
+        summary = result.summary(routine)
+        smax = result.summary_max(routine)
+        gap = result.gap_to_optimal(routine)
+        # Optimal tiling beats static somewhere, substantially.
+        assert smax["t_opt"] > 1.05
+        # DR-selected tiles achieve nearly all of T_opt's performance.
+        assert gap["dr"] > 0.92
+        # No selector loses to static at the median.
+        for model in fig6_tile_selection.SELECTORS:
+            assert summary[model] > 0.97

@@ -1,0 +1,32 @@
+"""Bench: reproduce Fig. 7 — end-to-end library comparison.
+
+Paper claims: CoCoPeLia matches or beats cuBLASXt (best of a tile
+sweep) and BLASX (static T) across the full-offload, C-only-on-CPU and
+fat-by-thin scenarios; BLASX beats cuBLASXt on fat-by-thin; cuBLASXt
+is competitive in the low-transfer scenario.
+"""
+
+import numpy as np
+
+from repro.experiments import fig7_performance
+
+from conftest import emit
+
+
+def test_fig7_performance(benchmark, bench_scale, results_dir):
+    result = benchmark.pedantic(
+        lambda: fig7_performance.run(scale=bench_scale),
+        rounds=1, iterations=1,
+    )
+    emit(results_dir, "fig7_performance", fig7_performance.render(result))
+
+    for (machine, routine, scenario), pts in result.points.items():
+        for p in pts:
+            best = max(p.gflops.values())
+            # CoCoPeLia is never materially behind the best library.
+            assert p.gflops["CoCoPeLia"] >= 0.90 * best, (
+                machine, routine, scenario, p.problem)
+        # BLASX beats cuBLASXt on the transfer-heavy fat-by-thin set.
+        if scenario == "fat_thin":
+            wins = sum(p.gflops["BLASX"] > p.gflops["cuBLASXt"] for p in pts)
+            assert wins == len(pts)

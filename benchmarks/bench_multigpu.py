@@ -1,0 +1,52 @@
+"""Bench: multi-GPU scaling (paper future-work extension).
+
+Column-block gemm across 1/2/4 simulated GPUs with per-shard tile
+selection.  Claims checked: monotone speedup, sub-linear efficiency
+driven by the A broadcast, and per-shard DR predictions tracking the
+measured makespan.
+"""
+
+from repro.core import gemm_problem
+from repro.experiments.harness import models_for
+from repro.experiments.report import format_table
+from repro.runtime.multigpu import MultiGpuCoCoPeLia, predict_multi_gpu
+from repro.sim.machine import get_testbed
+
+from conftest import emit
+
+
+def test_multigpu_scaling(benchmark, bench_scale, results_dir):
+    machine = get_testbed("testbed_ii")
+    models = models_for(machine, bench_scale)
+    dims = (2048,) * 3 if bench_scale == "tiny" else (8192,) * 3
+    problem = gemm_problem(*dims)
+
+    def run_all():
+        out = {}
+        for g in (1, 2, 4):
+            mg = MultiGpuCoCoPeLia(machine, g, models)
+            out[g] = (mg.gemm(*dims), predict_multi_gpu(problem, g, models))
+        return out
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    base = results[1][0].seconds
+    rows = []
+    for g, (res, pred) in results.items():
+        rows.append([
+            g, round(res.seconds * 1e3, 1), round(pred * 1e3, 1),
+            f"{base / res.seconds:.2f}x",
+            round(res.h2d_bytes / 1e9, 2),
+        ])
+    emit(results_dir, "multigpu_scaling", format_table(
+        ["GPUs", "measured ms", "predicted ms", "speedup", "h2d GB"],
+        rows, title=f"Multi-GPU scaling, dgemm {dims[0]}^3 (testbed_ii)",
+    ))
+
+    assert results[2][0].seconds < results[1][0].seconds
+    assert results[4][0].seconds < results[2][0].seconds
+    # Sub-linear: the A broadcast costs traffic.
+    assert base / results[4][0].seconds < 4.0
+    assert results[4][0].h2d_bytes > results[1][0].h2d_bytes
+    # Predictions track the measured makespan.
+    for g, (res, pred) in results.items():
+        assert abs(pred - res.seconds) / res.seconds < 0.25, g

@@ -1,0 +1,58 @@
+"""Bench: runtime overheads the paper quantifies (Section IV-B).
+
+The paper reports model initialization at 2-3 ms and prediction time
+'negligible (less than 100 us)'.  Here we measure the analogous costs
+of this implementation: tile selection over the full candidate set,
+a single model prediction, and the simulator's event throughput (the
+substrate cost that bounds paper-scale sweeps).
+"""
+
+import numpy as np
+
+from repro.core.registry import predict
+from repro.core.select import select_tile
+from repro.core.params import gemm_problem
+from repro.experiments.harness import models_for
+from repro.sim.engine import Simulator
+from repro.sim.machine import get_testbed
+
+from conftest import emit
+
+
+def test_prediction_latency(benchmark, bench_scale, results_dir):
+    machine = get_testbed("testbed_ii")
+    models = models_for(machine, bench_scale)
+    problem = gemm_problem(8192, 8192, 8192)
+    result = benchmark(lambda: predict("dr", problem, 2048, models))
+    assert result > 0
+    emit(results_dir, "runtime_prediction_latency",
+         "Single DR prediction benchmarked; see pytest-benchmark stats. "
+         "Paper target: 'negligible (less than 100 us)'.")
+
+
+def test_tile_selection_latency(benchmark, bench_scale, results_dir):
+    machine = get_testbed("testbed_ii")
+    models = models_for(machine, bench_scale)
+    problem = gemm_problem(8192, 8192, 8192)
+    choice = benchmark(lambda: select_tile(problem, models))
+    assert choice.t_best > 0
+    emit(results_dir, "runtime_selection_latency",
+         f"Full tile selection over {len(choice.per_tile)} candidates "
+         "benchmarked; paper: model init 2-3 ms.")
+
+
+def test_simulator_event_throughput(benchmark, results_dir):
+    """Events/second of the DES core (drives experiment wall time)."""
+    n_events = 20_000
+
+    def run_sim():
+        sim = Simulator()
+        for i in range(n_events):
+            sim.schedule(i * 1e-6, lambda: None)
+        return sim.run()
+
+    fired = benchmark.pedantic(run_sim, rounds=3, iterations=1)
+    assert fired == n_events
+    emit(results_dir, "runtime_des_throughput",
+         f"DES core processed {n_events} events per round; see "
+         "pytest-benchmark stats for events/second.")

@@ -1,0 +1,34 @@
+"""Bench: reproduce Table II — fitted transfer sub-models per testbed.
+
+Paper claims: Testbed II has ~3x higher bandwidth than Testbed I but
+much larger bidirectional slowdowns; fitted p-values are tiny and RSEs
+comparable to the latency.
+"""
+
+from repro.experiments import table2_transfer_models
+
+from conftest import emit
+
+
+def test_table2_transfer_models(benchmark, bench_scale, results_dir):
+    result = benchmark.pedantic(
+        lambda: table2_transfer_models.run(scale=bench_scale),
+        rounds=1, iterations=1,
+    )
+    emit(results_dir, "table2_transfer_models",
+         table2_transfer_models.render(result))
+
+    by_machine = {}
+    for row in result.rows:
+        by_machine.setdefault(row.machine, {})[row.direction] = row
+    tb1, tb2 = by_machine["testbed_i"], by_machine["testbed_ii"]
+    # ~3x bandwidth gap between testbeds (paper: 3.15 vs 12.18 GB/s).
+    assert tb2["h2d"].bandwidth_gb > 3.0 * tb1["h2d"].bandwidth_gb
+    # Larger bidirectional slowdowns on testbed II, d2h hit harder.
+    assert tb2["h2d"].sl > tb1["h2d"].sl
+    assert tb2["d2h"].sl > tb2["h2d"].sl
+    # Fits recover the simulated ground truth within a few percent.
+    for rows in by_machine.values():
+        for row in rows.values():
+            assert abs(row.bandwidth_gb / row.truth_bandwidth_gb - 1) < 0.05
+            assert abs(row.sl / row.truth_sl - 1) < 0.08

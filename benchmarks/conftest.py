@@ -1,0 +1,40 @@
+"""Shared fixtures for the reproduction benchmarks.
+
+Each benchmark regenerates one paper table/figure, writes the rendered
+reproduction to ``benchmarks/results/<name>.txt``, and prints it (run
+pytest with ``-s`` to see reports inline).
+
+Scale is controlled by the ``COCOPELIA_BENCH_SCALE`` environment
+variable: ``quick`` (default — minutes, preserves the paper's
+qualitative shapes at reduced sizes) or ``paper`` (the paper's problem
+sizes — hours through the Python DES).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> str:
+    scale = os.environ.get("COCOPELIA_BENCH_SCALE", "quick")
+    if scale not in ("tiny", "quick", "paper"):
+        raise ValueError(f"bad COCOPELIA_BENCH_SCALE: {scale}")
+    return scale
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def emit(results_dir: Path, name: str, report: str) -> None:
+    """Persist and print one reproduction report."""
+    (results_dir / f"{name}.txt").write_text(report + "\n")
+    print(f"\n{report}\n")

@@ -1,0 +1,65 @@
+"""Model exploration: predicted vs measured offload time across tiles.
+
+A miniature of the paper's Figs. 5/6 for one problem of your choice:
+measure the CoCoPeLia library across the candidate tile sizes, predict
+with every registered model, and print the comparison plus each model's
+selected tile.  Useful for understanding *why* a tile gets picked.
+
+Run:  python examples/model_exploration.py [M N K]
+"""
+
+import sys
+
+from repro import CoCoPeLiaLibrary, deploy_quick, gemm_problem, testbed_ii
+from repro.core.registry import available_models, predict
+from repro.core.select import candidate_tiles, select_tile
+from repro.experiments.report import ascii_series, format_table
+
+
+def main() -> None:
+    dims = (6144, 6144, 6144)
+    if len(sys.argv) == 4:
+        dims = tuple(int(x) for x in sys.argv[1:4])
+    machine = testbed_ii()
+    models = deploy_quick(machine)
+    lib = CoCoPeLiaLibrary(machine, models)
+    problem = gemm_problem(*dims)
+    print(f"Problem: {problem.describe()} on {machine.display_name}\n")
+
+    tiles = candidate_tiles(problem, models)
+    measured = {}
+    for t in tiles:
+        measured[t] = lib.gemm(*dims, tile_size=t).seconds
+
+    model_names = [m for m in available_models()]
+    rows = []
+    for t in tiles:
+        row = [t, round(measured[t] * 1e3, 1)]
+        for name in model_names:
+            pred = predict(name, problem, t, models)
+            row.append(f"{pred * 1e3:.1f}")
+        rows.append(row)
+    print(format_table(
+        ["T", "measured ms"] + [f"{m} ms" for m in model_names], rows,
+        title="Predicted vs measured offload time per tiling size",
+    ))
+
+    t_opt = min(measured, key=measured.get)
+    print(f"\nEmpirical optimum: T={t_opt} "
+          f"({measured[t_opt] * 1e3:.1f} ms)")
+    for name in model_names:
+        choice = select_tile(problem, models, model=name)
+        loss = measured.get(choice.t_best)
+        if loss is None:
+            loss = lib.gemm(*dims, tile_size=choice.t_best).seconds
+        print(f"  {name:9s} selects T={choice.t_best:5d} -> "
+              f"{loss * 1e3:8.1f} ms "
+              f"({100 * (loss / measured[t_opt] - 1):+5.1f}% vs optimum)")
+
+    print("\nMeasured GFLOP/s vs tiling size:")
+    gflops = [problem.flops() / measured[t] / 1e9 for t in tiles]
+    print(ascii_series(tiles, gflops, width=64, height=10))
+
+
+if __name__ == "__main__":
+    main()

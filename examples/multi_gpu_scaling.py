@@ -1,0 +1,70 @@
+"""Multi-GPU scaling: the paper's future-work direction, working.
+
+Splits a dgemm across 1-8 simulated V100s (column-block partition, A
+broadcast to every GPU, per-shard CoCoPeLia tile selection) and reports
+the measured scaling curve against the model's per-shard prediction and
+against ideal linear scaling — showing exactly *why* scaling is
+sub-linear: the A broadcast grows total traffic with GPU count.
+
+Run:  python examples/multi_gpu_scaling.py
+"""
+
+import numpy as np
+
+from repro import deploy_quick, gemm_problem, testbed_ii
+from repro.experiments.report import format_table
+from repro.runtime.multigpu import MultiGpuCoCoPeLia, predict_multi_gpu
+
+
+def main() -> None:
+    machine = testbed_ii()
+    models = deploy_quick(machine)
+    dims = (8192, 8192, 8192)
+    problem = gemm_problem(*dims)
+    print(f"dgemm {dims[0]}^3 across simulated {machine.gpu}s\n")
+
+    base = None
+    rows = []
+    for n_gpus in (1, 2, 3, 4, 6, 8):
+        mg = MultiGpuCoCoPeLia(machine, n_gpus, models)
+        result = mg.gemm(*dims)
+        predicted = predict_multi_gpu(problem, n_gpus, models)
+        if base is None:
+            base = result.seconds
+        speedup = base / result.seconds
+        rows.append([
+            n_gpus,
+            result.shards[0].tile_size,
+            round(result.seconds * 1e3, 1),
+            round(predicted * 1e3, 1),
+            f"{speedup:.2f}x",
+            f"{100 * speedup / n_gpus:.0f}%",
+            round(result.h2d_bytes / 1e9, 2),
+        ])
+    print(format_table(
+        ["GPUs", "T/shard", "measured ms", "predicted ms", "speedup",
+         "efficiency", "total h2d GB"],
+        rows,
+        title="Multi-GPU scaling (column-block split, A broadcast)",
+    ))
+    print(
+        "\nEfficiency drops with GPU count because every GPU fetches the "
+        "full A\n(total h2d grows by one A per extra GPU) — the model "
+        "predicts this from the\nper-shard DR composition, no new "
+        "benchmarks needed."
+    )
+
+    print("\nNumerical check with 3 GPUs on a small instance...")
+    rng = np.random.default_rng(2)
+    a = rng.standard_normal((256, 256))
+    b = rng.standard_normal((256, 384))
+    c = rng.standard_normal((256, 384))
+    expected = 2.0 * (a @ b) + 0.5 * c
+    MultiGpuCoCoPeLia(machine, 3, models).gemm(
+        a=a, b=b, c=c, alpha=2.0, beta=0.5, tile_size=128)
+    err = np.max(np.abs(c - expected)) / np.max(np.abs(expected))
+    print(f"  sharded result matches numpy (rel. error {err:.2e})")
+
+
+if __name__ == "__main__":
+    main()

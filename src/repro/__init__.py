@@ -1,0 +1,74 @@
+"""CoCoPeLia reproduction: overlap prediction for GPU BLAS offload.
+
+Reproduces Anastasiadis et al., "CoCoPeLia: Communication-Computation
+Overlap Prediction for Efficient Linear Algebra on GPUs" (ISPASS 2021)
+on a discrete-event simulated GPU substrate.
+
+Quickstart::
+
+    from repro import testbed_ii, deploy_quick, CoCoPeLiaLibrary
+
+    machine = testbed_ii()                  # simulated V100 testbed
+    models = deploy_quick(machine)          # micro-benchmark + fit
+    lib = CoCoPeLiaLibrary(machine, models)
+    result = lib.gemm(8192, 8192, 8192)     # auto tile selection
+    print(result.describe())
+
+See DESIGN.md for the architecture and EXPERIMENTS.md for the
+paper-vs-measured record.
+"""
+
+from .core import (
+    CoCoProblem,
+    Loc,
+    MachineModels,
+    axpy_problem,
+    gemm_problem,
+    gemv_problem,
+    predict,
+    select_tile,
+)
+from .deploy import DeploymentConfig, deploy, deploy_or_load
+from .runtime import CoCoPeLiaLibrary, RunResult
+from .baselines import (
+    BlasXLibrary,
+    CublasXtLibrary,
+    SerialOffloadLibrary,
+    UnifiedMemoryLibrary,
+)
+from .sim import GpuDevice, MachineConfig, get_testbed, testbed_i, testbed_ii
+
+__version__ = "1.0.0"
+
+
+def deploy_quick(machine: MachineConfig) -> MachineModels:
+    """Deploy with the reduced benchmark sweeps (seconds, not minutes)."""
+    return deploy(machine, DeploymentConfig.quick())
+
+
+__all__ = [
+    "CoCoProblem",
+    "Loc",
+    "MachineModels",
+    "axpy_problem",
+    "gemm_problem",
+    "gemv_problem",
+    "predict",
+    "select_tile",
+    "DeploymentConfig",
+    "deploy",
+    "deploy_or_load",
+    "deploy_quick",
+    "CoCoPeLiaLibrary",
+    "RunResult",
+    "BlasXLibrary",
+    "CublasXtLibrary",
+    "SerialOffloadLibrary",
+    "UnifiedMemoryLibrary",
+    "GpuDevice",
+    "MachineConfig",
+    "get_testbed",
+    "testbed_i",
+    "testbed_ii",
+    "__version__",
+]

@@ -1,0 +1,24 @@
+"""Comparator libraries (paper Section V-E).
+
+* :class:`CublasXtLibrary` — the state-of-practice NVIDIA library:
+  square tiling, round-robin multi-stream pipelining with double
+  buffering, **no** input-tile reuse, tiling size supplied by the user.
+* :class:`BlasXLibrary` — BLASX-style: fetch-once tile reuse with a
+  static, compile-time tiling size (default ``T = 2048``).
+* :class:`UnifiedMemoryLibrary` — the unified-memory-with-prefetch
+  daxpy baseline.
+* :class:`SerialOffloadLibrary` — no overlap at all: transfer in,
+  compute, transfer out (reference point for tests and ablations).
+"""
+
+from .cublasxt import CublasXtLibrary
+from .blasx import BlasXLibrary
+from .unified import UnifiedMemoryLibrary
+from .serial import SerialOffloadLibrary
+
+__all__ = [
+    "CublasXtLibrary",
+    "BlasXLibrary",
+    "UnifiedMemoryLibrary",
+    "SerialOffloadLibrary",
+]

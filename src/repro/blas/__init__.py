@@ -1,0 +1,40 @@
+"""BLAS routine metadata and numpy reference implementations.
+
+This package defines what each supported routine *is* (dimensions,
+operands, flop/byte counts, input/output roles — the routine-specific
+half of the paper's Table I) and provides reference implementations used
+to verify the tiled library numerically.
+"""
+
+from .spec import (
+    OperandRole,
+    OperandSpec,
+    RoutineSpec,
+    GEMM,
+    GEMV,
+    AXPY,
+    SYRK,
+    ROUTINES,
+    get_routine,
+)
+from .reference import ref_gemm, ref_axpy, ref_gemv, ref_syrk
+from .validation import assert_allclose_blas, relative_error, tolerance_for
+
+__all__ = [
+    "OperandRole",
+    "OperandSpec",
+    "RoutineSpec",
+    "GEMM",
+    "GEMV",
+    "AXPY",
+    "SYRK",
+    "ROUTINES",
+    "get_routine",
+    "ref_gemm",
+    "ref_axpy",
+    "ref_gemv",
+    "ref_syrk",
+    "assert_allclose_blas",
+    "relative_error",
+    "tolerance_for",
+]

@@ -1,0 +1,93 @@
+"""Numpy reference implementations of the BLAS subset.
+
+These are the numerical ground truth the tiled library is verified
+against.  They compute in the operand dtype (as cuBLAS does), so
+tolerances in :mod:`repro.blas.validation` are dtype-aware.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import BlasError
+
+
+def _check_dtype(*arrays: np.ndarray) -> np.dtype:
+    dtypes = {a.dtype for a in arrays}
+    if len(dtypes) != 1:
+        raise BlasError(f"mixed operand dtypes: {sorted(str(d) for d in dtypes)}")
+    dtype = dtypes.pop()
+    if dtype not in (np.dtype(np.float32), np.dtype(np.float64)):
+        raise BlasError(f"unsupported dtype {dtype}")
+    return dtype
+
+
+def ref_gemm(
+    a: np.ndarray,
+    b: np.ndarray,
+    c: np.ndarray,
+    alpha: float = 1.0,
+    beta: float = 1.0,
+) -> np.ndarray:
+    """``C = alpha * A @ B + beta * C`` (returns a new array)."""
+    dtype = _check_dtype(a, b, c)
+    if a.ndim != 2 or b.ndim != 2 or c.ndim != 2:
+        raise BlasError("gemm operands must be 2-D")
+    m, k = a.shape
+    k2, n = b.shape
+    if k != k2 or c.shape != (m, n):
+        raise BlasError(
+            f"gemm shape mismatch: A {a.shape}, B {b.shape}, C {c.shape}"
+        )
+    alpha = dtype.type(alpha)
+    beta = dtype.type(beta)
+    return alpha * (a @ b) + beta * c
+
+
+def ref_gemv(
+    a: np.ndarray,
+    x: np.ndarray,
+    y: np.ndarray,
+    alpha: float = 1.0,
+    beta: float = 1.0,
+) -> np.ndarray:
+    """``y = alpha * A @ x + beta * y`` (returns a new array)."""
+    dtype = _check_dtype(a, x, y)
+    if a.ndim != 2 or x.ndim != 1 or y.ndim != 1:
+        raise BlasError("gemv expects a matrix and two vectors")
+    m, n = a.shape
+    if x.shape != (n,) or y.shape != (m,):
+        raise BlasError(
+            f"gemv shape mismatch: A {a.shape}, x {x.shape}, y {y.shape}"
+        )
+    alpha = dtype.type(alpha)
+    beta = dtype.type(beta)
+    return alpha * (a @ x) + beta * y
+
+
+def ref_syrk(
+    a: np.ndarray,
+    c: np.ndarray,
+    alpha: float = 1.0,
+    beta: float = 1.0,
+) -> np.ndarray:
+    """``C = alpha * A @ A^T + beta * C`` (returns a new full symmetric
+    array; BLAS syrk only touches one triangle — callers comparing
+    against a lower-triangle result should mask accordingly)."""
+    dtype = _check_dtype(a, c)
+    if a.ndim != 2 or c.ndim != 2:
+        raise BlasError("syrk operands must be 2-D")
+    n = a.shape[0]
+    if c.shape != (n, n):
+        raise BlasError(f"syrk shape mismatch: A {a.shape}, C {c.shape}")
+    alpha = dtype.type(alpha)
+    beta = dtype.type(beta)
+    return alpha * (a @ a.T) + beta * c
+
+
+def ref_axpy(x: np.ndarray, y: np.ndarray, alpha: float = 1.0) -> np.ndarray:
+    """``y = alpha * x + y`` (returns a new array)."""
+    dtype = _check_dtype(x, y)
+    if x.shape != y.shape or x.ndim != 1:
+        raise BlasError(f"axpy shape mismatch: x {x.shape}, y {y.shape}")
+    return dtype.type(alpha) * x + y

@@ -1,0 +1,187 @@
+"""Routine specifications: the routine-specific half of Table I.
+
+A :class:`RoutineSpec` captures, for a BLAS routine, its level, problem
+dimensions (``D1[, D2[, D3]]``), the operands with their shapes in terms
+of those dimensions, and which operands are inputs (fetched, ``get_i``)
+and outputs (written back, ``set_i``).  The data-specific half (actual
+sizes, locations, dtype) lives in :mod:`repro.core.params`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable, Dict, Sequence, Tuple
+
+from ..errors import BlasError
+
+
+class OperandRole(enum.Enum):
+    """Whether an operand is read, written, or both."""
+
+    IN = "in"
+    OUT = "out"
+    INOUT = "inout"
+
+    @property
+    def is_input(self) -> bool:
+        return self in (OperandRole.IN, OperandRole.INOUT)
+
+    @property
+    def is_output(self) -> bool:
+        return self in (OperandRole.OUT, OperandRole.INOUT)
+
+
+@dataclass(frozen=True)
+class OperandSpec:
+    """One operand of a routine, with shape expressed over (D1, D2, D3).
+
+    ``shape`` maps the problem dims to the operand's (S1, S2); vectors
+    use S2 = 1 and set ``vector=True`` (a 1-column *matrix* is still a
+    matrix — vectorness is declared, not inferred).
+    """
+
+    name: str
+    role: OperandRole
+    shape: Callable[[Tuple[int, ...]], Tuple[int, int]]
+    vector: bool = False
+    #: Optional override for the number of tiles this operand splits
+    #: into (e.g. a triangular operand only stores/moves its lower
+    #: tiles).  Signature: (dims, t) -> count.  None = dense grid.
+    tile_count: "Callable[[Tuple[int, ...], int], int] | None" = None
+
+    def sizes(self, dims: Tuple[int, ...]) -> Tuple[int, int]:
+        s1, s2 = self.shape(dims)
+        if s1 <= 0 or s2 <= 0:
+            raise BlasError(f"operand {self.name} has non-positive size {(s1, s2)}")
+        return s1, s2
+
+    def elements(self, dims: Tuple[int, ...]) -> int:
+        s1, s2 = self.sizes(dims)
+        return s1 * s2
+
+
+@dataclass(frozen=True)
+class RoutineSpec:
+    """Full static description of a BLAS routine."""
+
+    name: str
+    level: int
+    ndims: int
+    operands: Tuple[OperandSpec, ...]
+    flops: Callable[[Tuple[int, ...]], float]
+    #: Optional override for the subkernel count under square tiling
+    #: (e.g. syrk only computes the lower-triangular output tiles).
+    #: Signature: (dims, t) -> count.  None = ceil-product over dims.
+    subkernel_count: "Callable[[Tuple[int, ...], int], int] | None" = None
+
+    @property
+    def opd(self) -> int:
+        """Number of operands (the paper's ``opd``)."""
+        return len(self.operands)
+
+    def check_dims(self, dims: Sequence[int]) -> Tuple[int, ...]:
+        dims = tuple(int(d) for d in dims)
+        if len(dims) != self.ndims:
+            raise BlasError(
+                f"{self.name} expects {self.ndims} dims, got {len(dims)}: {dims}"
+            )
+        if any(d <= 0 for d in dims):
+            raise BlasError(f"{self.name} dims must be positive: {dims}")
+        return dims
+
+    def total_elements(self, dims: Sequence[int]) -> int:
+        dims = self.check_dims(dims)
+        return sum(op.elements(dims) for op in self.operands)
+
+
+# ---------------------------------------------------------------------------
+# The three routine families the paper models (Section III-C): level-3
+# gemm (square tiling over D1,D2,D3), level-2 gemv (D1,D2), level-1 axpy
+# (D1 only).
+# ---------------------------------------------------------------------------
+
+GEMM = RoutineSpec(
+    name="gemm",
+    level=3,
+    ndims=3,
+    operands=(
+        # C = alpha * A @ B + beta * C with A: M x K, B: K x N, C: M x N
+        # and (D1, D2, D3) = (M, N, K).
+        OperandSpec("A", OperandRole.IN, lambda d: (d[0], d[2])),
+        OperandSpec("B", OperandRole.IN, lambda d: (d[2], d[1])),
+        OperandSpec("C", OperandRole.INOUT, lambda d: (d[0], d[1])),
+    ),
+    flops=lambda d: 2.0 * d[0] * d[1] * d[2],
+)
+
+GEMV = RoutineSpec(
+    name="gemv",
+    level=2,
+    ndims=2,
+    operands=(
+        # y = alpha * A @ x + beta * y with A: M x N, x: N, y: M
+        # and (D1, D2) = (M, N).
+        OperandSpec("A", OperandRole.IN, lambda d: (d[0], d[1])),
+        OperandSpec("x", OperandRole.IN, lambda d: (d[1], 1), vector=True),
+        OperandSpec("y", OperandRole.INOUT, lambda d: (d[0], 1), vector=True),
+    ),
+    flops=lambda d: 2.0 * d[0] * d[1],
+)
+
+AXPY = RoutineSpec(
+    name="axpy",
+    level=1,
+    ndims=1,
+    operands=(
+        # y = alpha * x + y with (D1,) = (N,)
+        OperandSpec("x", OperandRole.IN, lambda d: (d[0], 1), vector=True),
+        OperandSpec("y", OperandRole.INOUT, lambda d: (d[0], 1), vector=True),
+    ),
+    flops=lambda d: 2.0 * d[0],
+)
+
+def _tri(n: int) -> int:
+    """Tiles in the lower triangle (diagonal included) of an n x n grid."""
+    return n * (n + 1) // 2
+
+
+def _ceil_div(a: int, b: int) -> int:
+    return -(-a // b)
+
+
+SYRK = RoutineSpec(
+    name="syrk",
+    level=3,
+    ndims=2,
+    operands=(
+        # C = alpha * A @ A^T + beta * C with A: N x K, C: N x N
+        # symmetric (lower triangle stored/moved); (D1, D2) = (N, K).
+        OperandSpec("A", OperandRole.IN, lambda d: (d[0], d[1])),
+        OperandSpec(
+            "C", OperandRole.INOUT, lambda d: (d[0], d[0]),
+            tile_count=lambda d, t: _tri(_ceil_div(d[0], t)),
+        ),
+    ),
+    # Symmetry halves the work relative to the equivalent gemm.
+    flops=lambda d: float(d[0]) * (d[0] + 1) * d[1],
+    subkernel_count=lambda d, t: _tri(_ceil_div(d[0], t)) * _ceil_div(d[1], t),
+)
+
+ROUTINES: Dict[str, RoutineSpec] = {
+    r.name: r for r in (GEMM, GEMV, AXPY, SYRK)
+}
+
+
+def get_routine(name: str) -> RoutineSpec:
+    """Look up a routine spec by its BLAS name (without dtype prefix)."""
+    key = name.lower()
+    # Accept dtype-prefixed names like 'dgemm' / 'saxpy'.
+    if key not in ROUTINES and key[0] in "sd" and key[1:] in ROUTINES:
+        key = key[1:]
+    try:
+        return ROUTINES[key]
+    except KeyError:
+        raise BlasError(
+            f"unknown routine {name!r}; available: {sorted(ROUTINES)}"
+        ) from None

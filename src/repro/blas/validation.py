@@ -1,0 +1,51 @@
+"""Numerical validation helpers for tiled BLAS results.
+
+Tiled execution changes summation order, so results differ from the
+reference at the level of floating-point rounding.  Tolerances scale
+with the reduction depth (K for gemm) and the dtype epsilon.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import BlasError
+
+
+def tolerance_for(dtype, reduction_depth: int = 1) -> float:
+    """Relative tolerance for comparing tiled vs reference results.
+
+    ~ sqrt(depth) * eps * safety, the standard backward-error scaling
+    for reordered summation.
+    """
+    eps = float(np.finfo(np.dtype(dtype)).eps)
+    depth = max(int(reduction_depth), 1)
+    return 50.0 * eps * np.sqrt(depth)
+
+
+def relative_error(result: np.ndarray, reference: np.ndarray) -> float:
+    """Max-norm relative error of ``result`` vs ``reference``."""
+    if result.shape != reference.shape:
+        raise BlasError(
+            f"shape mismatch: {result.shape} vs {reference.shape}"
+        )
+    denom = float(np.max(np.abs(reference)))
+    if denom == 0.0:
+        return float(np.max(np.abs(result)))
+    return float(np.max(np.abs(result - reference))) / denom
+
+
+def assert_allclose_blas(
+    result: np.ndarray,
+    reference: np.ndarray,
+    reduction_depth: int = 1,
+    context: str = "",
+) -> None:
+    """Assert a tiled result matches the reference within tolerance."""
+    tol = tolerance_for(reference.dtype, reduction_depth)
+    err = relative_error(result, reference)
+    if err > tol:
+        raise AssertionError(
+            f"BLAS result mismatch{' (' + context + ')' if context else ''}: "
+            f"relative error {err:.3e} > tolerance {tol:.3e}"
+        )

@@ -1,0 +1,304 @@
+"""Command-line interface: deploy, run, select, and reproduce.
+
+Usage (see ``python -m repro --help``)::
+
+    python -m repro machines
+    python -m repro deploy --machine testbed_ii
+    python -m repro run gemm 8192 8192 8192 --library cocopelia
+    python -m repro select gemm 8192 8192 8192 --model dr
+    python -m repro experiment fig5 --scale quick
+
+Deployment databases are cached as JSON under ``--db-dir`` (default
+``.cocopelia/``), so repeated CLI calls skip re-benchmarking, exactly
+like the paper's once-per-machine offline deployment.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+from . import experiments
+from .baselines import (
+    BlasXLibrary,
+    CublasXtLibrary,
+    SerialOffloadLibrary,
+    UnifiedMemoryLibrary,
+)
+from .core.params import (CoCoProblem, Loc, axpy_problem, gemm_problem,
+                          gemv_problem, syrk_problem)
+from .core.select import select_tile
+from .deploy import DeploymentConfig, deploy_or_load
+from .errors import ReproError
+from .experiments.harness import run_problem
+from .experiments.report import format_table
+from .runtime import CoCoPeLiaLibrary
+from .sim.machine import get_testbed
+
+EXPERIMENTS = {
+    "fig1": experiments.fig1_tiling_effect,
+    "table2": experiments.table2_transfer_models,
+    "table3": experiments.table3_testbeds,
+    "fig2": experiments.fig2_pipeline,
+    "fig3": experiments.fig3_framework,
+    "fig4": experiments.fig4_bts_validation,
+    "fig5": experiments.fig5_dr_validation,
+    "fig6": experiments.fig6_tile_selection,
+    "fig7": experiments.fig7_performance,
+    "table4": experiments.table4_improvement,
+}
+
+LIBRARIES = {
+    "cocopelia": CoCoPeLiaLibrary,
+    "cublasxt": CublasXtLibrary,
+    "blasx": BlasXLibrary,
+    "serial": SerialOffloadLibrary,
+    "unified": UnifiedMemoryLibrary,
+}
+
+
+def _add_machine_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--machine", default="testbed_ii",
+                        choices=("testbed_i", "testbed_ii"),
+                        help="simulated testbed (default: testbed_ii)")
+    parser.add_argument("--scale", default="quick",
+                        choices=("tiny", "quick", "paper"),
+                        help="benchmark sweep scale (default: quick)")
+    parser.add_argument("--db-dir", default=None,
+                        help="model database directory (default: .cocopelia)")
+
+
+def _loc(value: str) -> Loc:
+    try:
+        return Loc(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"location must be 'host' or 'device', got {value!r}"
+        ) from None
+
+
+def _deployment_config(scale: str) -> DeploymentConfig:
+    routines = [("gemm", np.float64), ("gemm", np.float32),
+                ("axpy", np.float64), ("gemv", np.float64),
+                ("syrk", np.float64)]
+    if scale == "paper":
+        return DeploymentConfig(routines=tuple(routines))
+    return DeploymentConfig.quick(routines=routines)
+
+
+def _models_for(args):
+    machine = get_testbed(args.machine)
+    models = deploy_or_load(
+        machine, variant=args.scale, db_dir=args.db_dir,
+        force=getattr(args, "force", False),
+        config=_deployment_config(args.scale),
+    )
+    return machine, models
+
+
+def _build_problem(args) -> CoCoProblem:
+    dtype = np.float64 if args.dtype == "d" else np.float32
+    if args.routine == "gemm":
+        if len(args.dims) != 3:
+            raise ReproError("gemm needs M N K")
+        return gemm_problem(*args.dims, dtype, args.loc_a, args.loc_b,
+                            args.loc_c)
+    if args.routine == "gemv":
+        if len(args.dims) != 2:
+            raise ReproError("gemv needs M N")
+        return gemv_problem(*args.dims, dtype, args.loc_a, args.loc_b,
+                            args.loc_c)
+    if args.routine == "syrk":
+        if len(args.dims) != 2:
+            raise ReproError("syrk needs N K")
+        return syrk_problem(*args.dims, dtype, args.loc_a, args.loc_c)
+    if args.routine == "axpy":
+        if len(args.dims) != 1:
+            raise ReproError("axpy needs N")
+        return axpy_problem(args.dims[0], dtype, args.loc_a, args.loc_b)
+    raise ReproError(f"unknown routine {args.routine!r}")
+
+
+# ---------------------------------------------------------------------------
+# subcommands
+# ---------------------------------------------------------------------------
+
+def cmd_machines(args) -> int:
+    rows = []
+    for name in ("testbed_i", "testbed_ii"):
+        m = get_testbed(name)
+        rows.append([
+            name, m.gpu, m.pcie,
+            f"{m.h2d.bandwidth / 1e9:.2f}/{m.d2h.bandwidth / 1e9:.2f}",
+            f"{m.h2d.bid_slowdown:.2f}/{m.d2h.bid_slowdown:.2f}",
+            f"{m.gpu_mem_bytes >> 30} GiB",
+        ])
+    print(format_table(
+        ["name", "gpu", "pcie", "bw GB/s (h2d/d2h)", "sl (h2d/d2h)", "mem"],
+        rows, title="Simulated testbeds (paper Tables II & III)",
+    ))
+    return 0
+
+
+def cmd_deploy(args) -> int:
+    machine, models = _models_for(args)
+    link = models.link
+    print(f"Deployed {machine.display_name} at scale {args.scale!r}:")
+    print(f"  h2d: t_l={link.h2d.latency:.2e}s "
+          f"1/t_b={link.h2d.bandwidth_gb:.2f} GB/s sl={link.h2d.sl:.3f}")
+    print(f"  d2h: t_l={link.d2h.latency:.2e}s "
+          f"1/t_b={link.d2h.bandwidth_gb:.2f} GB/s sl={link.d2h.sl:.3f}")
+    for (routine, prefix), lookup in sorted(models.exec_lookups.items()):
+        print(f"  {prefix}{routine}: {len(lookup)} benchmarked tile sizes "
+              f"({lookup.tile_sizes[0]}..{lookup.tile_sizes[-1]})")
+    return 0
+
+
+def cmd_run(args) -> int:
+    machine, models = _models_for(args)
+    problem = _build_problem(args)
+    lib_cls = LIBRARIES[args.library]
+    if lib_cls is CoCoPeLiaLibrary:
+        lib = lib_cls(machine, models, model=args.model)
+    else:
+        lib = lib_cls(machine)
+    if lib_cls is UnifiedMemoryLibrary and problem.routine.name != "axpy":
+        raise ReproError("the unified-memory baseline only supports axpy")
+    kwargs = {}
+    if args.tile is not None:
+        kwargs["tile_size"] = args.tile
+    elif lib_cls is CublasXtLibrary:
+        kwargs["tile_size"] = 4096  # cuBLASXt default
+    result = run_problem(lib, problem, **kwargs)
+    print(f"{problem.describe()} on {machine.display_name} "
+          f"[{result.library}]")
+    print(f"  time      {result.seconds * 1e3:10.3f} ms "
+          f"({result.gflops:.1f} GFLOP/s)")
+    print(f"  tile      T={result.tile_size}")
+    if result.predicted_seconds is not None:
+        print(f"  predicted {result.predicted_seconds * 1e3:10.3f} ms "
+              f"(e% = {100 * result.prediction_error:+.1f})")
+    print(f"  traffic   h2d {result.h2d_bytes / 1e6:.1f} MB "
+          f"({result.h2d_transfers} transfers), "
+          f"d2h {result.d2h_bytes / 1e6:.1f} MB "
+          f"({result.d2h_transfers} transfers), "
+          f"{result.kernels} kernels")
+    return 0
+
+
+def cmd_select(args) -> int:
+    machine, models = _models_for(args)
+    problem = _build_problem(args)
+    choice = select_tile(problem, models, model=args.model)
+    rows = [
+        [t, round(pred * 1e3, 3), "<-- selected" if t == choice.t_best else ""]
+        for t, pred in sorted(choice.per_tile.items())
+    ]
+    print(format_table(
+        ["T", "predicted ms", ""], rows,
+        title=f"{problem.describe()} — {choice.model} model on "
+              f"{machine.display_name}",
+    ))
+    return 0
+
+
+def cmd_experiment(args) -> int:
+    if args.name == "all":
+        from .experiments import full_report
+
+        report = full_report.run(
+            scale=args.scale,
+            progress=lambda title, wall: print(
+                f"  [done] {title} ({wall:.1f}s)", file=sys.stderr),
+        )
+        print(full_report.render(report))
+        return 0
+    module = EXPERIMENTS[args.name]
+    result = module.run(scale=args.scale)
+    print(module.render(result))
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# parser
+# ---------------------------------------------------------------------------
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="CoCoPeLia reproduction: GPU BLAS overlap prediction "
+                    "on a simulated substrate",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("machines", help="list the simulated testbeds")
+
+    p_deploy = sub.add_parser("deploy", help="run/refresh deployment "
+                              "micro-benchmarks for a machine")
+    _add_machine_args(p_deploy)
+    p_deploy.add_argument("--force", action="store_true",
+                          help="re-benchmark even if a database is cached")
+
+    p_run = sub.add_parser("run", help="offload one BLAS invocation")
+    p_run.add_argument("routine", choices=("gemm", "gemv", "syrk", "axpy"))
+    p_run.add_argument("dims", type=int, nargs="+",
+                       help="problem dims: gemm M N K / gemv M N / axpy N")
+    _add_machine_args(p_run)
+    p_run.add_argument("--library", default="cocopelia",
+                       choices=sorted(LIBRARIES))
+    p_run.add_argument("--dtype", default="d", choices=("d", "s"))
+    p_run.add_argument("--tile", type=int, default=None,
+                       help="explicit tiling size (default: model-selected)")
+    p_run.add_argument("--model", default="auto",
+                       help="prediction model for selection (default: auto)")
+    p_run.add_argument("--loc-a", type=_loc, default=Loc.HOST,
+                       help="location of A/x: host|device")
+    p_run.add_argument("--loc-b", type=_loc, default=Loc.HOST,
+                       help="location of B/x/y: host|device")
+    p_run.add_argument("--loc-c", type=_loc, default=Loc.HOST,
+                       help="location of C/y: host|device")
+
+    p_sel = sub.add_parser("select", help="show per-tile predictions and "
+                           "the selected tiling size")
+    p_sel.add_argument("routine", choices=("gemm", "gemv", "syrk", "axpy"))
+    p_sel.add_argument("dims", type=int, nargs="+")
+    _add_machine_args(p_sel)
+    p_sel.add_argument("--dtype", default="d", choices=("d", "s"))
+    p_sel.add_argument("--model", default="auto")
+    p_sel.add_argument("--loc-a", type=_loc, default=Loc.HOST)
+    p_sel.add_argument("--loc-b", type=_loc, default=Loc.HOST)
+    p_sel.add_argument("--loc-c", type=_loc, default=Loc.HOST)
+
+    p_exp = sub.add_parser("experiment", help="reproduce a paper "
+                           "table/figure")
+    p_exp.add_argument("name", choices=sorted(EXPERIMENTS) + ["all"])
+    p_exp.add_argument("--scale", default="quick",
+                       choices=("tiny", "quick", "paper"))
+
+    return parser
+
+
+COMMANDS = {
+    "machines": cmd_machines,
+    "deploy": cmd_deploy,
+    "run": cmd_run,
+    "select": cmd_select,
+    "experiment": cmd_experiment,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return COMMANDS[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,111 @@
+"""Empirical execution-time lookup for tiled kernels (Section IV-A).
+
+The paper deliberately avoids fitting a functional form for
+``t_GPU^T``: it benchmarks the routine for a set of square tile sizes
+and performs value lookups at runtime.  This module stores such a
+table per (routine, dtype) and performs the lookups, optionally with
+log-log interpolation for tile sizes between benchmark points (an
+extension; exact lookups are the paper's default).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..errors import ModelError
+
+
+class ExecLookup:
+    """``t_GPU^T`` value-lookup table for one (routine, dtype) pair."""
+
+    def __init__(
+        self,
+        routine: str,
+        dtype_prefix: str,
+        entries: Optional[Dict[int, float]] = None,
+    ) -> None:
+        self.routine = routine
+        self.dtype_prefix = dtype_prefix
+        self._entries: Dict[int, float] = {}
+        if entries:
+            for t, v in entries.items():
+                self.add(int(t), float(v))
+
+    def add(self, t: int, seconds: float) -> None:
+        """Record the benchmarked time for tile size ``t``."""
+        if t <= 0:
+            raise ModelError(f"non-positive tile size {t}")
+        if seconds <= 0:
+            raise ModelError(f"non-positive exec time {seconds} for T={t}")
+        self._entries[t] = seconds
+
+    @property
+    def tile_sizes(self) -> List[int]:
+        """Benchmarked tile sizes, ascending."""
+        return sorted(self._entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, t: int) -> bool:
+        return t in self._entries
+
+    def time(self, t: int, interpolate: bool = False) -> float:
+        """Look up ``t_GPU^T``.
+
+        With ``interpolate=False`` (the paper's behaviour) only
+        benchmarked tile sizes are valid; unknown sizes raise
+        :class:`~repro.errors.ModelError`.  With ``interpolate=True``
+        unknown sizes are estimated by log-log interpolation between
+        neighbours (clamped at the table edges).
+        """
+        if t in self._entries:
+            return self._entries[t]
+        if not interpolate:
+            raise ModelError(
+                f"no benchmarked execution time for T={t} "
+                f"({self.dtype_prefix}{self.routine}); "
+                f"benchmarked sizes: {self.tile_sizes}"
+            )
+        return self._interpolate(t)
+
+    def _interpolate(self, t: int) -> float:
+        sizes = self.tile_sizes
+        if not sizes:
+            raise ModelError(
+                f"empty execution lookup for {self.dtype_prefix}{self.routine}"
+            )
+        if t <= sizes[0]:
+            # Scale down from the smallest entry assuming cubic work
+            # (pessimistic for tiny tiles, but they are never selected).
+            ref = sizes[0]
+            return self._entries[ref] * (t / ref) ** 3
+        if t >= sizes[-1]:
+            ref = sizes[-1]
+            return self._entries[ref] * (t / ref) ** 3
+        lo = max(s for s in sizes if s < t)
+        hi = min(s for s in sizes if s > t)
+        # log-log linear interpolation
+        lt, llo, lhi = math.log(t), math.log(lo), math.log(hi)
+        vlo, vhi = math.log(self._entries[lo]), math.log(self._entries[hi])
+        frac = (lt - llo) / (lhi - llo)
+        return math.exp(vlo + frac * (vhi - vlo))
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "routine": self.routine,
+            "dtype_prefix": self.dtype_prefix,
+            "entries": {str(t): v for t, v in self._entries.items()},
+        }
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, object]) -> "ExecLookup":
+        entries = {int(t): float(v) for t, v in d["entries"].items()}  # type: ignore[union-attr]
+        return cls(str(d["routine"]), str(d["dtype_prefix"]), entries)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<ExecLookup {self.dtype_prefix}{self.routine} "
+            f"{len(self._entries)} entries>"
+        )

@@ -1,0 +1,60 @@
+"""A machine's instantiated model set (the deployment output).
+
+:class:`MachineModels` is what the deployment module produces and the
+tile-selection runtime consumes: the fitted link model plus one
+execution lookup table per (routine, dtype).  Persistence lives in
+:mod:`repro.deploy.database`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+from ..errors import ModelError
+from .exec_model import ExecLookup
+from .transfer_model import LinkModel
+
+
+@dataclass
+class MachineModels:
+    """Everything CoCoPeLia knows about a machine after deployment."""
+
+    machine_name: str
+    link: LinkModel
+    exec_lookups: Dict[Tuple[str, str], ExecLookup] = field(default_factory=dict)
+
+    def add_exec_lookup(self, lookup: ExecLookup) -> None:
+        self.exec_lookups[(lookup.routine, lookup.dtype_prefix)] = lookup
+
+    def exec_lookup(self, routine: str, dtype_prefix: str) -> ExecLookup:
+        try:
+            return self.exec_lookups[(routine, dtype_prefix)]
+        except KeyError:
+            available = sorted(
+                f"{p}{r}" for (r, p) in self.exec_lookups
+            )
+            raise ModelError(
+                f"machine {self.machine_name!r} has no execution model for "
+                f"{dtype_prefix}{routine}; deployed: {available}"
+            ) from None
+
+    def has_routine(self, routine: str, dtype_prefix: str) -> bool:
+        return (routine, dtype_prefix) in self.exec_lookups
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "machine_name": self.machine_name,
+            "link": self.link.to_dict(),
+            "exec_lookups": [lk.to_dict() for lk in self.exec_lookups.values()],
+        }
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, object]) -> "MachineModels":
+        models = cls(
+            machine_name=str(d["machine_name"]),
+            link=LinkModel.from_dict(d["link"]),  # type: ignore[arg-type]
+        )
+        for lk in d.get("exec_lookups", []):  # type: ignore[union-attr]
+            models.add_exec_lookup(ExecLookup.from_dict(lk))
+        return models

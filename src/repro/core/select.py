@@ -1,0 +1,89 @@
+"""Tiling-size selection: the CoCoPeLia_select runtime (Section IV-B).
+
+Given a problem and a deployed :class:`MachineModels`, evaluate the
+chosen prediction model over the benchmarked candidate tile sizes
+(subject to the paper's validity constraint ``T <= min(D)/1.5``) and
+return the predicted-best tiling size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..errors import ModelError
+from .instantiation import MachineModels
+from .params import CoCoProblem, prefix_for
+from .registry import predict, resolve_model
+
+#: The paper evaluates tile sizes no larger than min(D1,D2,D3)/1.5 so a
+#: problem always splits into enough tiles to pipeline.
+MAX_TILE_FRACTION = 1.5
+
+
+@dataclass(frozen=True)
+class TileChoice:
+    """Result of a tile-size selection."""
+
+    t_best: int
+    predicted_time: float
+    model: str
+    per_tile: Dict[int, float] = field(default_factory=dict)
+
+    def predicted_for(self, t: int) -> float:
+        return self.per_tile[t]
+
+
+def candidate_tiles(
+    problem: CoCoProblem,
+    models: MachineModels,
+    min_tile: int = 0,
+    clamped: bool = True,
+) -> List[int]:
+    """Benchmarked tile sizes valid for this problem, ascending.
+
+    With ``clamped=True`` (default) tile sizes may exceed small problem
+    dimensions — tiles clamp at the edges and the edge-aware models
+    predict them — as long as the *largest* dimension still splits into
+    at least ``MAX_TILE_FRACTION`` tiles.  ``clamped=False`` restricts
+    to the paper's literal constraint ``T <= min(D)/1.5``.
+    """
+    lookup = models.exec_lookup(problem.routine.name, prefix_for(problem.dtype))
+    bound = max(problem.dims) if clamped else problem.min_dim()
+    limit = bound / MAX_TILE_FRACTION
+    cands = [t for t in lookup.tile_sizes if min_tile <= t <= limit]
+    if not cands:
+        # Degenerate small problem: fall back to the largest tile not
+        # exceeding the smallest dimension (a single-tile split).
+        cands = [t for t in lookup.tile_sizes if t <= problem.min_dim()]
+    if not cands:
+        raise ModelError(
+            f"no benchmarked tile size fits problem dims {problem.dims}; "
+            f"benchmarked sizes: {lookup.tile_sizes}"
+        )
+    return cands
+
+
+def select_tile(
+    problem: CoCoProblem,
+    models: MachineModels,
+    model: str = "auto",
+    min_tile: int = 0,
+    interpolate: bool = False,
+) -> TileChoice:
+    """Pick the tiling size with the smallest predicted offload time.
+
+    Ties break toward the *larger* tile (fewer subkernels, lower
+    scheduling overhead for equal predicted time).
+    """
+    model_key = resolve_model(model, problem)
+    per_tile: Dict[int, float] = {}
+    for t in candidate_tiles(problem, models, min_tile=min_tile):
+        per_tile[t] = predict(model_key, problem, t, models, interpolate)
+    t_best = min(sorted(per_tile, reverse=True), key=lambda t: per_tile[t])
+    return TileChoice(
+        t_best=t_best,
+        predicted_time=per_tile[t_best],
+        model=model_key,
+        per_tile=per_tile,
+    )

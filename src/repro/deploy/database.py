@@ -1,0 +1,72 @@
+"""Persistence for deployed model databases.
+
+Deployment only needs to run once per machine (paper Section IV-A); the
+fitted coefficients and lookup tables are stored as JSON and reloaded
+on subsequent runs.  ``deploy_or_load`` is the convenience entry point
+the experiment harness uses.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Optional, Union
+
+from ..core.instantiation import MachineModels
+from ..errors import DeploymentError
+from ..sim.machine import MachineConfig
+
+PathLike = Union[str, os.PathLike]
+
+#: Default on-disk location of deployed model databases.
+DEFAULT_DB_DIR = Path(os.environ.get("COCOPELIA_DB_DIR", ".cocopelia"))
+
+
+def save_models(models: MachineModels, path: PathLike) -> Path:
+    """Write a model database as JSON; returns the written path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_suffix(path.suffix + ".tmp")
+    with open(tmp, "w") as fh:
+        json.dump(models.to_dict(), fh, indent=2, sort_keys=True)
+    tmp.replace(path)
+    return path
+
+
+def load_models(path: PathLike) -> MachineModels:
+    """Load a model database previously written by :func:`save_models`."""
+    path = Path(path)
+    if not path.exists():
+        raise DeploymentError(f"no model database at {path}")
+    with open(path) as fh:
+        data = json.load(fh)
+    return MachineModels.from_dict(data)
+
+
+def db_path_for(machine: MachineConfig, variant: str = "default",
+                db_dir: Optional[PathLike] = None) -> Path:
+    base = Path(db_dir) if db_dir is not None else DEFAULT_DB_DIR
+    return base / f"{machine.name}-{variant}.json"
+
+
+def deploy_or_load(
+    machine: MachineConfig,
+    variant: str = "default",
+    db_dir: Optional[PathLike] = None,
+    force: bool = False,
+    **deploy_kwargs,
+) -> MachineModels:
+    """Load the cached database for ``machine`` or deploy and cache it.
+
+    ``variant`` distinguishes benchmark configurations (e.g. 'quick' vs
+    'paper' sweeps) so they never collide in the cache.
+    """
+    from .pipeline import deploy  # local import to avoid a cycle
+
+    path = db_path_for(machine, variant, db_dir)
+    if path.exists() and not force:
+        return load_models(path)
+    models = deploy(machine, **deploy_kwargs)
+    save_models(models, path)
+    return models

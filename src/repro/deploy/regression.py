@@ -1,0 +1,120 @@
+"""Statistical machinery for the deployment micro-benchmarks.
+
+Implements the paper's two statistical procedures:
+
+* zero-intercept least-squares fits of transfer time vs bytes (the
+  latency is measured separately and excluded from the regression, "in
+  the manner of [32]"), with residual standard error and coefficient
+  p-values;
+* repetition of every measurement "until the 95% confidence interval of
+  the mean falls within 5% of the reported mean value".
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, List, Sequence, Tuple
+
+import numpy as np
+from scipy import stats
+
+from ..errors import DeploymentError
+
+
+@dataclass(frozen=True)
+class RegressionResult:
+    """Zero-intercept least-squares fit ``y = slope * x``."""
+
+    slope: float
+    rse: float
+    p_value: float
+    n: int
+
+    @property
+    def bandwidth(self) -> float:
+        """If y is seconds and x bytes: fitted bytes/second."""
+        if self.slope <= 0:
+            raise DeploymentError(f"non-positive fitted slope {self.slope}")
+        return 1.0 / self.slope
+
+
+def zero_intercept_lstsq(x: Sequence[float], y: Sequence[float]) -> RegressionResult:
+    """Fit ``y = slope * x`` by least squares through the origin.
+
+    Returns the slope, the residual standard error (RSE, with n-1
+    degrees of freedom — one parameter), and the two-sided p-value of
+    the slope coefficient.
+    """
+    xa = np.asarray(x, dtype=np.float64)
+    ya = np.asarray(y, dtype=np.float64)
+    if xa.shape != ya.shape or xa.ndim != 1:
+        raise DeploymentError(
+            f"regression inputs must be equal-length 1-D: {xa.shape} vs {ya.shape}"
+        )
+    n = xa.size
+    if n < 2:
+        raise DeploymentError(f"need at least 2 samples to regress, got {n}")
+    sxx = float(np.dot(xa, xa))
+    if sxx == 0.0:
+        raise DeploymentError("all regression abscissae are zero")
+    slope = float(np.dot(xa, ya)) / sxx
+    residuals = ya - slope * xa
+    dof = n - 1
+    rss = float(np.dot(residuals, residuals))
+    rse = math.sqrt(rss / dof)
+    se_slope = rse / math.sqrt(sxx)
+    if se_slope == 0.0:
+        p_value = 0.0
+    else:
+        t_stat = abs(slope) / se_slope
+        p_value = float(2.0 * stats.t.sf(t_stat, dof))
+    return RegressionResult(slope=slope, rse=rse, p_value=p_value, n=n)
+
+
+def confidence_interval(
+    samples: Sequence[float], confidence: float = 0.95
+) -> Tuple[float, float]:
+    """(mean, half-width) of the t-based CI of the mean."""
+    arr = np.asarray(samples, dtype=np.float64)
+    if arr.size < 2:
+        raise DeploymentError(f"need >= 2 samples for a CI, got {arr.size}")
+    mean = float(arr.mean())
+    sem = float(stats.sem(arr))
+    if sem == 0.0:
+        return mean, 0.0
+    half = float(sem * stats.t.ppf((1.0 + confidence) / 2.0, arr.size - 1))
+    return mean, half
+
+
+def measure_until_stable(
+    measure: Callable[[], float],
+    rel_half_width: float = 0.05,
+    confidence: float = 0.95,
+    min_reps: int = 5,
+    max_reps: int = 200,
+) -> Tuple[float, List[float]]:
+    """Repeat ``measure()`` until the CI of the mean is tight enough.
+
+    The paper's stopping rule: the 95% CI half-width must fall within
+    ``rel_half_width`` (5%) of the mean.  ``max_reps`` bounds pathological
+    noise; hitting it raises so silent garbage never enters the model
+    database.
+    """
+    samples: List[float] = []
+    for _ in range(max_reps):
+        samples.append(float(measure()))
+        if len(samples) < min_reps:
+            continue
+        mean, half = confidence_interval(samples, confidence)
+        if mean == 0.0:
+            if half == 0.0:
+                return 0.0, samples
+            continue
+        if half <= rel_half_width * abs(mean):
+            return mean, samples
+    raise DeploymentError(
+        f"measurement did not stabilize after {max_reps} repetitions "
+        f"(last mean {np.mean(samples):.3e}, CI half-width "
+        f"{confidence_interval(samples, confidence)[1]:.3e})"
+    )

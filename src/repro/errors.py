@@ -1,0 +1,52 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch library failures without masking programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulator was driven into an invalid state."""
+
+
+class DeviceMemoryError(SimulationError):
+    """A device allocation exceeded the simulated GPU memory capacity."""
+
+    def __init__(self, requested: int, free: int, capacity: int) -> None:
+        self.requested = requested
+        self.free = free
+        self.capacity = capacity
+        super().__init__(
+            f"device OOM: requested {requested} bytes with {free} free "
+            f"(capacity {capacity})"
+        )
+
+
+class InvalidTransferError(SimulationError):
+    """A transfer was issued with inconsistent endpoints or sizes."""
+
+
+class StreamError(SimulationError):
+    """A stream / event operation violated CUDA-like semantics."""
+
+
+class BlasError(ReproError):
+    """A BLAS routine was invoked with invalid parameters."""
+
+
+class ModelError(ReproError):
+    """A prediction model was given parameters it cannot handle."""
+
+
+class DeploymentError(ReproError):
+    """Micro-benchmarking or model fitting failed."""
+
+
+class SchedulerError(ReproError):
+    """The tile scheduler was driven into an invalid state."""

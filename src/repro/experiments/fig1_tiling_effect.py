@@ -1,0 +1,104 @@
+"""Fig. 1: effect of tiling size on cuBLASXt dgemm performance.
+
+For each testbed and problem size, sweep the tiling size of the
+cuBLASXt-like library and report GFLOP/s per tile size, annotated with
+the static-tile performance the paper highlights (its T=4096 default
+loses up to ~9-15% vs the per-problem optimum).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..baselines import CublasXtLibrary
+from ..core.params import gemm_problem
+from ..sim.machine import MachineConfig
+from . import workloads
+from .harness import best_point, measure_tile_sweep, testbeds
+from .report import ascii_series, format_table
+
+#: The static tile annotated in the paper's Fig. 1 (T=4096, the best
+#: average performer for cuBLASXt per Section V).
+STATIC_TILE = {"paper": 4096, "quick": 4096, "tiny": 512}
+
+
+@dataclass
+class Fig1Series:
+    machine: str
+    size: int
+    tiles: List[int]
+    gflops: List[float]
+    t_opt: int
+    gflops_opt: float
+    static_tile: int
+    gflops_static: float
+
+    @property
+    def static_slowdown_pct(self) -> float:
+        """Performance lost by the static tile vs the optimum."""
+        return 100.0 * (1.0 - self.gflops_static / self.gflops_opt)
+
+
+@dataclass
+class Fig1Result:
+    scale: str
+    series: List[Fig1Series] = field(default_factory=list)
+
+
+def run(scale: str = "quick",
+        machines: Optional[Sequence[MachineConfig]] = None) -> Fig1Result:
+    machines = list(machines) if machines is not None else testbeds()
+    static_tile = STATIC_TILE[scale]
+    result = Fig1Result(scale=scale)
+    for machine in machines:
+        lib = CublasXtLibrary(machine)
+        for size in workloads.fig1_sizes(scale):
+            problem = gemm_problem(size, size, size)
+            tiles = workloads.fig1_tile_sweep(size, scale)
+            if static_tile not in tiles and static_tile <= problem.min_dim():
+                tiles = sorted(set(tiles) | {static_tile})
+            points = measure_tile_sweep(lib, problem, tiles)
+            opt = best_point(points)
+            by_tile: Dict[int, float] = {
+                p.tile_size: p.result.gflops for p in points
+            }
+            static_used = static_tile if static_tile in by_tile else opt.tile_size
+            result.series.append(
+                Fig1Series(
+                    machine=machine.name,
+                    size=size,
+                    tiles=[p.tile_size for p in points],
+                    gflops=[p.result.gflops for p in points],
+                    t_opt=opt.tile_size,
+                    gflops_opt=opt.result.gflops,
+                    static_tile=static_used,
+                    gflops_static=by_tile[static_used],
+                )
+            )
+    return result
+
+
+def render(result: Fig1Result) -> str:
+    blocks = []
+    rows = []
+    for s in result.series:
+        chart = ascii_series(
+            s.tiles, s.gflops, title=(
+                f"Fig.1 {s.machine} dgemm {s.size}^3: GFLOP/s vs T "
+                f"(T_opt={s.t_opt})"
+            ),
+        )
+        blocks.append(chart)
+        rows.append([
+            s.machine, s.size, s.t_opt, round(s.gflops_opt, 1),
+            s.static_tile, round(s.gflops_static, 1),
+            round(s.static_slowdown_pct, 1),
+        ])
+    table = format_table(
+        ["machine", "M=N=K", "T_opt", "GF/s@T_opt", "T_static",
+         "GF/s@static", "static loss %"],
+        rows,
+        title="Fig. 1 summary: static vs optimal tiling size (cuBLASXt dgemm)",
+    )
+    return "\n\n".join(blocks + [table])

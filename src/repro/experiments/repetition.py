@@ -1,0 +1,82 @@
+"""Repeated-measurement harness (paper Section V-A methodology).
+
+The paper performs "100 executions for each benchmark, after a warmup
+run, not accounted for, and we report the average time".  This module
+implements that protocol over any library/problem pair, with the
+simulated noise providing genuine run-to-run variance, plus the
+confidence-interval summary used to decide whether a reported mean is
+trustworthy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from ..deploy.regression import confidence_interval
+from ..errors import ReproError
+from .harness import run_problem
+
+
+@dataclass(frozen=True)
+class RepeatedMeasurement:
+    """Summary of repeated executions of one (library, problem, T)."""
+
+    mean: float
+    std: float
+    ci_half: float
+    n: int
+    warmup: float
+    samples: List[float] = field(repr=False, default_factory=list)
+
+    @property
+    def rel_ci(self) -> float:
+        """CI half-width relative to the mean."""
+        if self.mean == 0:
+            return 0.0
+        return self.ci_half / self.mean
+
+    @property
+    def cov(self) -> float:
+        """Coefficient of variation (std / mean)."""
+        if self.mean == 0:
+            return 0.0
+        return self.std / self.mean
+
+
+def measure_repeated(
+    lib,
+    problem,
+    tile_size: Optional[int] = None,
+    reps: int = 100,
+    warmup_runs: int = 1,
+    confidence: float = 0.95,
+    **kwargs,
+) -> RepeatedMeasurement:
+    """Run a benchmark the way the paper does: warmup + N timed reps.
+
+    Each repetition goes through the library's normal call path (fresh
+    simulated device, advancing noise stream), so the variance is the
+    machine's, not an artifact.
+    """
+    if reps < 2:
+        raise ReproError(f"need at least 2 repetitions, got {reps}")
+    warmup_time = 0.0
+    for _ in range(warmup_runs):
+        warmup_time = run_problem(lib, problem, tile_size=tile_size,
+                                  **kwargs).seconds
+    samples = [
+        run_problem(lib, problem, tile_size=tile_size, **kwargs).seconds
+        for _ in range(reps)
+    ]
+    mean, half = confidence_interval(samples, confidence)
+    return RepeatedMeasurement(
+        mean=mean,
+        std=float(np.std(samples, ddof=1)),
+        ci_half=half,
+        n=reps,
+        warmup=warmup_time,
+        samples=samples,
+    )

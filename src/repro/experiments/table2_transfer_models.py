@@ -1,0 +1,89 @@
+"""Table II: transfer sub-models for the two testbeds.
+
+Runs the deployment transfer micro-benchmarks and reports the fitted
+(t_l, 1/t_b, RSE, bidirectional 1/t_b, bidirectional RSE, sl) per
+direction and testbed — alongside the simulated ground truth, which a
+real deployment never sees but which this reproduction can use to
+check the fits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from ..core.transfer_model import LinkModel
+from ..deploy.microbench import TransferBenchConfig, fit_link_model
+from ..sim.machine import MachineConfig
+from ..units import GIGA
+from .harness import testbeds
+from .report import format_table
+
+
+@dataclass
+class Table2Row:
+    machine: str
+    direction: str
+    latency: float
+    bandwidth_gb: float
+    rse: float
+    bandwidth_bid_gb: float
+    rse_bid: float
+    sl: float
+    truth_bandwidth_gb: float
+    truth_sl: float
+
+
+@dataclass
+class Table2Result:
+    scale: str
+    rows: List[Table2Row] = field(default_factory=list)
+    links: dict = field(default_factory=dict)
+
+
+def run(scale: str = "quick",
+        machines: Optional[Sequence[MachineConfig]] = None) -> Table2Result:
+    machines = list(machines) if machines is not None else testbeds()
+    cfg = TransferBenchConfig() if scale == "paper" else TransferBenchConfig.quick()
+    result = Table2Result(scale=scale)
+    for machine in machines:
+        link, _raw = fit_link_model(machine, cfg)
+        result.links[machine.name] = link
+        for direction, fit, truth in (
+            ("h2d", link.h2d, machine.h2d),
+            ("d2h", link.d2h, machine.d2h),
+        ):
+            result.rows.append(
+                Table2Row(
+                    machine=machine.name,
+                    direction=direction,
+                    latency=fit.latency,
+                    bandwidth_gb=fit.bandwidth / GIGA,
+                    rse=fit.rse,
+                    bandwidth_bid_gb=fit.bandwidth / fit.sl / GIGA,
+                    rse_bid=fit.rse_bid,
+                    sl=fit.sl,
+                    truth_bandwidth_gb=truth.bandwidth / GIGA,
+                    truth_sl=truth.bid_slowdown,
+                )
+            )
+    return result
+
+
+def render(result: Table2Result) -> str:
+    rows = [
+        [
+            r.machine, r.direction, f"{r.latency:.2e}",
+            round(r.bandwidth_gb, 2), f"{r.rse:.2e}",
+            round(r.bandwidth_bid_gb, 2), f"{r.rse_bid:.2e}",
+            round(r.sl, 3), round(r.truth_bandwidth_gb, 2),
+            round(r.truth_sl, 3),
+        ]
+        for r in result.rows
+    ]
+    return format_table(
+        ["system", "dir", "t_l (s)", "1/t_b GB/s", "RSE",
+         "1/t_b bid GB/s", "RSE bid", "sl", "truth GB/s", "truth sl"],
+        rows,
+        title="Table II: fitted transfer sub-models (vs simulator ground truth)",
+    )

@@ -1,0 +1,54 @@
+"""Table III: experimental-setup description of the two testbeds.
+
+Rendered from the machine configurations, which encode the paper's
+Table III (CPU/GPU models, peak FLOP rates, PCIe generation) and
+Table II (link parameters) as simulation ground truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..sim.machine import MachineConfig
+from ..units import GIGA
+from .harness import testbeds
+from .report import format_table
+
+
+@dataclass
+class Table3Result:
+    scale: str
+    machines: List[MachineConfig] = field(default_factory=list)
+
+
+def run(scale: str = "quick",
+        machines: Optional[Sequence[MachineConfig]] = None) -> Table3Result:
+    machines = list(machines) if machines is not None else testbeds()
+    return Table3Result(scale=scale, machines=machines)
+
+
+def render(result: Table3Result) -> str:
+    rows = []
+    attributes = [
+        ("CPU", lambda m: m.cpu),
+        ("GPU", lambda m: m.gpu),
+        ("PCIe", lambda m: m.pcie),
+        ("GPU memory", lambda m: f"{m.gpu_mem_bytes >> 30} GiB"),
+        ("FP64 peak", lambda m: f"{m.kernels.gemm(np.float64).peak_flops / 1e12:.2f} TFlop/s"),
+        ("FP32 peak", lambda m: f"{m.kernels.gemm(np.float32).peak_flops / 1e12:.2f} TFlop/s"),
+        ("h2d bandwidth", lambda m: f"{m.h2d.bandwidth / GIGA:.2f} GB/s"),
+        ("d2h bandwidth", lambda m: f"{m.d2h.bandwidth / GIGA:.2f} GB/s"),
+        ("bid. slowdown (h2d/d2h)",
+         lambda m: f"{m.h2d.bid_slowdown:.2f} / {m.d2h.bid_slowdown:.2f}"),
+        ("noise sigma", lambda m: f"{m.noise_sigma:.3f}"),
+    ]
+    for label, getter in attributes:
+        rows.append([label] + [getter(m) for m in result.machines])
+    headers = ["attribute"] + [m.display_name for m in result.machines]
+    return format_table(
+        headers, rows,
+        title="Table III: simulated testbeds (ground-truth configuration)",
+    )

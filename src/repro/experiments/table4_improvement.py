@@ -1,0 +1,124 @@
+"""Table IV: mean percentile improvement of CoCoPeLia over the best
+competing library, split into full- and partial-offload cases.
+
+For gemm the competitors are the cuBLASXt-like library (best of its
+tile sweep) and the BLASX-like library; for daxpy the competitor is the
+unified-memory-with-prefetch implementation, as in the paper's
+Section V-E.  Improvements are geometric means of per-problem time
+ratios, reported as percentages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..baselines import BlasXLibrary, CublasXtLibrary, UnifiedMemoryLibrary
+from ..core.params import CoCoProblem
+from ..runtime import CoCoPeLiaLibrary
+from ..sim.machine import MachineConfig
+from . import workloads
+from .fig7_performance import XT_SWEEP
+from .harness import models_for, run_axpy, run_gemm, testbeds
+from .metrics import geomean_improvement_pct, speedup
+from .report import format_table
+
+
+@dataclass
+class Table4Cell:
+    machine: str
+    routine: str
+    offload: str  # 'full' | 'partial'
+    improvement_pct: float
+    n_problems: int
+
+
+@dataclass
+class Table4Result:
+    scale: str
+    cells: List[Table4Cell] = field(default_factory=list)
+
+    def get(self, machine: str, routine: str, offload: str) -> Table4Cell:
+        for c in self.cells:
+            if (c.machine, c.routine, c.offload) == (machine, routine, offload):
+                return c
+        raise KeyError((machine, routine, offload))
+
+
+def _best_competitor_gemm(problem: CoCoProblem, xt: CublasXtLibrary,
+                          bx: BlasXLibrary, xt_tiles: Sequence[int]) -> float:
+    best = run_gemm(bx, problem).seconds
+    for t in xt_tiles:
+        if t > problem.min_dim():
+            continue
+        best = min(best, run_gemm(xt, problem, tile_size=t).seconds)
+    return best
+
+
+def run(scale: str = "quick",
+        machines: Optional[Sequence[MachineConfig]] = None,
+        dtypes: Sequence = (np.float64, np.float32)) -> Table4Result:
+    machines = list(machines) if machines is not None else testbeds()
+    result = Table4Result(scale=scale)
+    xt_tiles = XT_SWEEP[scale]
+    for machine in machines:
+        models = models_for(machine, scale)
+        cc = CoCoPeLiaLibrary(machine, models)
+        xt = CublasXtLibrary(machine)
+        bx = BlasXLibrary(machine)
+        um = UnifiedMemoryLibrary(machine)
+        # --- gemm ---
+        for dtype in dtypes:
+            prefix = "d" if np.dtype(dtype).itemsize == 8 else "s"
+            ratios: Dict[str, List[float]] = {"full": [], "partial": []}
+            for problem in workloads.gemm_evaluation_set(scale, dtype):
+                t_cc = run_gemm(cc, problem).seconds
+                t_other = _best_competitor_gemm(problem, xt, bx, xt_tiles)
+                bucket = ("full" if workloads.is_full_offload(problem)
+                          else "partial")
+                ratios[bucket].append(speedup(t_other, t_cc))
+            for offload, vals in ratios.items():
+                if not vals:
+                    continue
+                result.cells.append(Table4Cell(
+                    machine=machine.name,
+                    routine=f"{prefix}gemm",
+                    offload=offload,
+                    improvement_pct=geomean_improvement_pct(vals),
+                    n_problems=len(vals),
+                ))
+        # --- daxpy vs unified memory ---
+        ratios = {"full": [], "partial": []}
+        for problem in workloads.daxpy_evaluation_set(scale):
+            t_cc = run_axpy(cc, problem).seconds
+            t_um = run_axpy(um, problem).seconds
+            bucket = ("full" if workloads.is_full_offload(problem)
+                      else "partial")
+            ratios[bucket].append(speedup(t_um, t_cc))
+        for offload, vals in ratios.items():
+            if not vals:
+                continue
+            result.cells.append(Table4Cell(
+                machine=machine.name,
+                routine="daxpy",
+                offload=offload,
+                improvement_pct=geomean_improvement_pct(vals),
+                n_problems=len(vals),
+            ))
+    return result
+
+
+def render(result: Table4Result) -> str:
+    rows = [
+        [c.machine, c.routine, c.offload, round(c.improvement_pct, 1),
+         c.n_problems]
+        for c in result.cells
+    ]
+    return format_table(
+        ["machine", "routine", "offload", "improvement %", "n"],
+        rows,
+        title="Table IV: geomean improvement of CoCoPeLia over the best "
+              "competitor",
+    )

@@ -1,0 +1,32 @@
+"""The CoCoPeLia library: tile scheduler + runtime tile selection.
+
+Implements the paper's Section IV-C: an optimized BLAS subset (gemm in
+double/single precision, axpy) on top of the cuBLAS-like backend, with
+
+* square tiling and address matching (:mod:`~repro.runtime.tiles`),
+* a fetch-once device tile cache (:mod:`~repro.runtime.cache`),
+* one stream per operation class (h2d / exec / d2h) and pipelined
+  subkernel issue (:mod:`~repro.runtime.scheduler`),
+* automatic tiling-size selection through the deployed models, with
+  per-problem model reuse (:mod:`~repro.runtime.routines`).
+"""
+
+from .result import RunResult
+from .tiles import Grid1D, Grid2D
+from .cache import TileCache
+from .routines import CoCoPeLiaLibrary
+from .multigpu import MultiGpuCoCoPeLia, predict_multi_gpu
+from .hybrid import HybridCoCoPeLia, HybridSplit, select_split
+
+__all__ = [
+    "RunResult",
+    "Grid1D",
+    "Grid2D",
+    "TileCache",
+    "CoCoPeLiaLibrary",
+    "MultiGpuCoCoPeLia",
+    "predict_multi_gpu",
+    "HybridCoCoPeLia",
+    "HybridSplit",
+    "select_split",
+]

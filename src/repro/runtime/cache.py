@@ -1,0 +1,95 @@
+"""Device tile cache: fetch-once data reuse (paper Sections III-B.3, IV-C).
+
+Each (operand, i, j) tile is transferred to the GPU at most once and
+then reused by every subkernel that needs it — the behaviour the DR
+model (Eq. 5) assumes.  Tiles of device-resident operands are
+registered without any transfer.
+
+Problems must fit in device memory; the paper explicitly scopes out
+larger problems ("that would require a considerably more sophisticated
+implementation of overlap with memory constraints"), so exceeding the
+capacity raises :class:`~repro.errors.DeviceMemoryError` instead of
+evicting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Set, Tuple
+
+from ..backend.cublas import CublasContext, DeviceMatrix
+from ..errors import SchedulerError
+from ..sim.stream import CudaEvent, Stream
+
+TileKey = Tuple[str, int, int]
+
+
+@dataclass
+class TileEntry:
+    """One resident device tile."""
+
+    matrix: DeviceMatrix
+    #: Completion event of the fetch; None for device-resident tiles.
+    ready: Optional[CudaEvent] = None
+    dirty: bool = False
+    #: Streams that have already synchronized with ``ready`` — later
+    #: work on those streams is ordered by the stream itself.
+    _waited: Set[str] = field(default_factory=set)
+
+    def make_stream_wait(self, stream: Stream) -> None:
+        """Ensure subsequent work on ``stream`` sees this tile's data."""
+        if self.ready is None:
+            return
+        if stream.name in self._waited:
+            return
+        stream.wait_event(self.ready)
+        self._waited.add(stream.name)
+
+
+class TileCache:
+    """Maps tile keys to resident device tiles."""
+
+    def __init__(self, ctx: CublasContext) -> None:
+        self._ctx = ctx
+        self._tiles: Dict[TileKey, TileEntry] = {}
+        self.fetches = 0
+        self.hits = 0
+
+    def __contains__(self, key: TileKey) -> bool:
+        return key in self._tiles
+
+    def __len__(self) -> int:
+        return len(self._tiles)
+
+    def get(self, key: TileKey) -> TileEntry:
+        try:
+            entry = self._tiles[key]
+        except KeyError:
+            raise SchedulerError(f"tile {key} not resident") from None
+        self.hits += 1
+        return entry
+
+    def insert(self, key: TileKey, entry: TileEntry) -> TileEntry:
+        if key in self._tiles:
+            raise SchedulerError(f"tile {key} inserted twice")
+        self._tiles[key] = entry
+        self.fetches += 1
+        return entry
+
+    def get_or_insert(self, key: TileKey, factory) -> Tuple[TileEntry, bool]:
+        """Return (entry, was_resident)."""
+        if key in self._tiles:
+            self.hits += 1
+            return self._tiles[key], True
+        entry = factory()
+        self._tiles[key] = entry
+        self.fetches += 1
+        return entry, False
+
+    def free_all(self) -> None:
+        for entry in self._tiles.values():
+            entry.matrix.free()
+        self._tiles.clear()
+
+    def resident_bytes(self) -> int:
+        return sum(e.matrix.nbytes for e in self._tiles.values())

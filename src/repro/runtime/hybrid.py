@@ -1,0 +1,222 @@
+"""Host-assisted gemm (paper future work: "host-assisted execution").
+
+The host CPU computes a column block of C directly from host memory —
+no PCIe transfers at all for that block — while the GPU runs the
+standard CoCoPeLia pipeline on the rest.  The split ratio is chosen by
+the models: sweep candidate host fractions, predict the host block with
+a flat CPU-rate model and the GPU shard with the DR model (per-shard
+tile selection), and pick the fraction minimizing the predicted
+makespan ``max(t_host, t_gpu)``.
+
+On a transfer-bound machine the optimal host share exceeds the naive
+``cpu_rate / (cpu_rate + gpu_rate)``, because offloading columns to the
+CPU also removes their transfer cost — exactly the effect that makes
+host assistance worthwhile in the first place.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..backend.cublas import CublasContext
+from ..core.instantiation import MachineModels
+from ..core.params import CoCoProblem, Loc, gemm_problem, prefix_for
+from ..core.select import select_tile
+from ..errors import BlasError, SchedulerError
+from ..sim.device import GpuDevice
+from ..sim.link import Direction
+from ..sim.machine import MachineConfig
+from .result import RunResult
+from .routines import _host_operand
+from .scheduler import GemmTileScheduler
+
+#: Host-column candidates are multiples of this granularity.
+HOST_COLUMN_GRANULARITY = 128
+
+
+def host_gemm_time(machine: MachineConfig, m: int, n_host: int, k: int,
+                   dtype) -> float:
+    """Predicted CPU time for the host block (flat sustained rate)."""
+    if n_host <= 0:
+        return 0.0
+    rate = machine.cpu_gemm_flops
+    if np.dtype(dtype).itemsize == 4:
+        rate *= 2.0
+    return 2.0 * m * n_host * k / rate
+
+
+@dataclass(frozen=True)
+class HybridSplit:
+    """A chosen host/GPU column split with its predictions."""
+
+    n_host: int
+    n_gpu: int
+    tile: int
+    predicted_host: float
+    predicted_gpu: float
+
+    @property
+    def predicted(self) -> float:
+        return max(self.predicted_host, self.predicted_gpu)
+
+    @property
+    def host_fraction(self) -> float:
+        return self.n_host / (self.n_host + self.n_gpu)
+
+
+def select_split(
+    problem: CoCoProblem,
+    machine: MachineConfig,
+    models: MachineModels,
+    max_host_fraction: float = 0.6,
+    steps: int = 13,
+) -> HybridSplit:
+    """Model-driven host/GPU split for a gemm problem."""
+    if problem.routine.name != "gemm":
+        raise SchedulerError("host-assisted execution supports gemm only")
+    m, n, k = problem.dims
+    locs = {op.name: op.loc for op in problem.operands}
+    best: Optional[HybridSplit] = None
+    for i in range(steps):
+        frac = max_host_fraction * i / (steps - 1)
+        n_host = int(round(n * frac / HOST_COLUMN_GRANULARITY)
+                     ) * HOST_COLUMN_GRANULARITY
+        n_host = min(n_host, n - HOST_COLUMN_GRANULARITY)
+        n_host = max(n_host, 0)
+        n_gpu = n - n_host
+        t_host = host_gemm_time(machine, m, n_host, k, problem.dtype)
+        sub = gemm_problem(m, n_gpu, k, problem.dtype,
+                           locs["A"], locs["B"], locs["C"])
+        choice = select_tile(sub, models)
+        candidate = HybridSplit(
+            n_host=n_host, n_gpu=n_gpu, tile=choice.t_best,
+            predicted_host=t_host, predicted_gpu=choice.predicted_time,
+        )
+        if best is None or candidate.predicted < best.predicted:
+            best = candidate
+    assert best is not None
+    return best
+
+
+class HybridCoCoPeLia:
+    """Host-assisted gemm: CPU block + GPU CoCoPeLia pipeline."""
+
+    LIBRARY_NAME = "CoCoPeLia-Hybrid"
+
+    def __init__(self, machine: MachineConfig,
+                 models: Optional[MachineModels] = None,
+                 seed: int = 61) -> None:
+        self.machine = machine
+        self.models = models
+        self._seed = seed
+        self._calls = 0
+
+    def gemm(
+        self,
+        m: Optional[int] = None,
+        n: Optional[int] = None,
+        k: Optional[int] = None,
+        a: Optional[np.ndarray] = None,
+        b: Optional[np.ndarray] = None,
+        c: Optional[np.ndarray] = None,
+        dtype=np.float64,
+        loc_a: Loc = Loc.HOST,
+        loc_b: Loc = Loc.HOST,
+        loc_c: Loc = Loc.HOST,
+        alpha: float = 1.0,
+        beta: float = 1.0,
+        split: Optional[HybridSplit] = None,
+    ) -> RunResult:
+        """``C = alpha*A@B + beta*C`` split between host and GPU.
+
+        Host assistance requires host-resident operands (the CPU block
+        reads A/B and writes C in place); device-resident operands fall
+        back to a pure-GPU split (``n_host = 0``).
+        """
+        arrays = (a, b, c)
+        if any(x is not None for x in arrays):
+            if any(x is None for x in arrays):
+                raise BlasError("pass all of a, b, c or none of them")
+            m, k = a.shape
+            _, n = b.shape
+            dtype = a.dtype
+        if m is None or n is None or k is None:
+            raise BlasError("gemm needs dims (m, n, k) or arrays")
+        problem = gemm_problem(m, n, k, dtype, loc_a, loc_b, loc_c)
+        all_host = all(op.loc is Loc.HOST for op in problem.operands)
+        if split is None:
+            if self.models is None:
+                raise BlasError(
+                    "host-assisted split selection requires deployed models"
+                )
+            if all_host:
+                split = select_split(problem, self.machine, self.models)
+            else:
+                choice = select_tile(problem, self.models)
+                split = HybridSplit(0, n, choice.t_best, 0.0,
+                                    choice.predicted_time)
+        if split.n_host > 0 and not all_host:
+            raise BlasError(
+                "host assistance needs host-resident operands"
+            )
+        # --- GPU shard ---
+        self._calls += 1
+        device = GpuDevice(self.machine, seed=self._seed + self._calls)
+        ctx = CublasContext(device)
+        gpu_problem = gemm_problem(m, split.n_gpu, k, dtype,
+                                   loc_a, loc_b, loc_c)
+        b_gpu = b[:, :split.n_gpu] if b is not None else None
+        c_gpu = c[:, :split.n_gpu] if c is not None else None
+        hosts = {
+            "A": _host_operand(gpu_problem, "A", a),
+            "B": _host_operand(gpu_problem, "B",
+                               np.ascontiguousarray(b_gpu)
+                               if b_gpu is not None else None),
+            "C": _host_operand(gpu_problem, "C", c_gpu),
+        }
+        sched = GemmTileScheduler(ctx, gpu_problem, split.tile, hosts,
+                                  alpha=alpha, beta=beta)
+        # The host block computes concurrently: model it as an event on
+        # the same virtual clock (no engine contention with the GPU).
+        host_time = host_gemm_time(self.machine, m, split.n_host, k, dtype)
+        host_time *= device.noise.duration_factor()
+        host_done = {}
+        if split.n_host > 0:
+            def compute_host_block() -> None:
+                host_done["t"] = device.sim.now
+                if a is not None:
+                    b_host = b[:, split.n_gpu:]
+                    c_view = c[:, split.n_gpu:]
+                    dt = np.dtype(dtype).type
+                    c_view[:, :] = (dt(alpha) * (a @ b_host)
+                                    + dt(beta) * c_view)
+
+            device.sim.schedule(host_time, compute_host_block)
+        t0 = device.sim.now
+        sched._issue()
+        end = device.synchronize()
+        output = None
+        if c is not None and loc_c is Loc.DEVICE:
+            output = sched.read_back_device_result()
+        sched.release()
+        return RunResult(
+            library=self.LIBRARY_NAME,
+            routine=f"{prefix_for(dtype)}gemm",
+            seconds=end - t0,
+            flops=problem.flops(),
+            tile_size=split.tile,
+            h2d_bytes=device.bytes_moved(Direction.H2D),
+            d2h_bytes=device.bytes_moved(Direction.D2H),
+            h2d_transfers=device.transfer_count(Direction.H2D),
+            d2h_transfers=device.transfer_count(Direction.D2H),
+            kernels=device.compute.kernels_run,
+            predicted_seconds=split.predicted if split.n_host >= 0 else None,
+            model="dr+host",
+            extra={"n_host": split.n_host, "n_gpu": split.n_gpu,
+                   "host_seconds": host_time},
+            output=output,
+        )

@@ -1,0 +1,208 @@
+"""Multi-GPU CoCoPeLia gemm (paper future work: "multi-GPU ... with the
+vision of providing a portable auto-tuned heterogeneous BLAS library").
+
+Architecture: ``G`` simulated GPUs share one virtual clock; each has
+its own PCIe link and engines (dedicated lanes, as on multi-socket
+nodes — host-memory contention between GPUs is not modeled).  The
+output matrix is split into ``G`` column blocks; GPU ``g`` receives the
+full A (broadcast), its B and C column blocks, and runs the standard
+CoCoPeLia reuse pipeline on its shard.  The makespan is the slowest
+shard's finish time.
+
+Modeling composes directly: each shard is itself a gemm problem
+``(M, N/G, K)``, so the multi-GPU prediction is the max of the DR model
+over the shards — tile selection happens per shard with the single-GPU
+machinery, exactly the portability story the paper closes on.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..backend.cublas import CublasContext
+from ..core.instantiation import MachineModels
+from ..core.params import CoCoProblem, Loc, gemm_problem, prefix_for
+from ..core.registry import predict
+from ..core.select import select_tile
+from ..errors import BlasError, SchedulerError
+from ..sim.device import GpuDevice
+from ..sim.engine import Simulator
+from ..sim.link import Direction
+from ..sim.machine import MachineConfig
+from ..sim.memory import HostArray
+from .result import RunResult
+from .routines import _host_operand
+from .scheduler import GemmTileScheduler
+
+
+def shard_columns(n: int, n_gpus: int) -> List[Tuple[int, int]]:
+    """(offset, width) of each GPU's output-column block."""
+    if n_gpus <= 0:
+        raise SchedulerError(f"need at least one GPU, got {n_gpus}")
+    base = math.ceil(n / n_gpus)
+    shards = []
+    off = 0
+    while off < n:
+        width = min(base, n - off)
+        shards.append((off, width))
+        off += width
+    return shards
+
+
+def shard_problem(problem: CoCoProblem, width: int) -> CoCoProblem:
+    """The gemm sub-problem one GPU solves: (M, width, K)."""
+    m, _, k = problem.dims
+    locs = {op.name: op.loc for op in problem.operands}
+    return gemm_problem(m, width, k, problem.dtype,
+                        locs["A"], locs["B"], locs["C"])
+
+
+def predict_multi_gpu(
+    problem: CoCoProblem,
+    n_gpus: int,
+    models: MachineModels,
+    model: str = "dr",
+) -> float:
+    """Predicted multi-GPU makespan: max over shard predictions, with
+    per-shard tile selection."""
+    worst = 0.0
+    for _off, width in shard_columns(problem.dims[1], n_gpus):
+        sub = shard_problem(problem, width)
+        choice = select_tile(sub, models, model=model)
+        worst = max(worst, choice.predicted_time)
+    return worst
+
+
+@dataclass
+class MultiGpuResult:
+    """Per-shard results plus the overall makespan."""
+
+    seconds: float
+    shards: List[RunResult]
+    n_gpus: int
+
+    @property
+    def flops(self) -> float:
+        return sum(s.flops for s in self.shards)
+
+    @property
+    def gflops(self) -> float:
+        return self.flops / self.seconds / 1e9
+
+    @property
+    def h2d_bytes(self) -> int:
+        return sum(s.h2d_bytes for s in self.shards)
+
+
+class MultiGpuCoCoPeLia:
+    """Column-block multi-GPU gemm over homogeneous simulated GPUs."""
+
+    LIBRARY_NAME = "CoCoPeLia-MG"
+
+    def __init__(
+        self,
+        machine: MachineConfig,
+        n_gpus: int,
+        models: Optional[MachineModels] = None,
+        seed: int = 53,
+    ) -> None:
+        if n_gpus <= 0:
+            raise SchedulerError(f"need at least one GPU, got {n_gpus}")
+        self.machine = machine
+        self.n_gpus = n_gpus
+        self.models = models
+        self._seed = seed
+        self._calls = 0
+
+    def gemm(
+        self,
+        m: Optional[int] = None,
+        n: Optional[int] = None,
+        k: Optional[int] = None,
+        a: Optional[np.ndarray] = None,
+        b: Optional[np.ndarray] = None,
+        c: Optional[np.ndarray] = None,
+        dtype=np.float64,
+        loc_a: Loc = Loc.HOST,
+        loc_b: Loc = Loc.HOST,
+        loc_c: Loc = Loc.HOST,
+        alpha: float = 1.0,
+        beta: float = 1.0,
+        tile_size: Optional[int] = None,
+    ) -> MultiGpuResult:
+        """``C = alpha*A@B + beta*C`` across ``n_gpus`` GPUs."""
+        arrays = (a, b, c)
+        if any(x is not None for x in arrays):
+            if any(x is None for x in arrays):
+                raise BlasError("pass all of a, b, c or none of them")
+            m, k = a.shape
+            _, n = b.shape
+            dtype = a.dtype
+        if m is None or n is None or k is None:
+            raise BlasError("gemm needs dims (m, n, k) or arrays")
+        problem = gemm_problem(m, n, k, dtype, loc_a, loc_b, loc_c)
+        shards = shard_columns(n, self.n_gpus)
+        self._calls += 1
+        sim = Simulator()
+        devices = [
+            GpuDevice(self.machine, sim=sim,
+                      seed=self._seed + 100 * self._calls + g)
+            for g in range(len(shards))
+        ]
+        schedulers: List[GemmTileScheduler] = []
+        shard_problems: List[CoCoProblem] = []
+        for g, (off, width) in enumerate(shards):
+            sub = shard_problem(problem, width)
+            shard_problems.append(sub)
+            t = tile_size
+            if t is None:
+                if self.models is None:
+                    raise BlasError(
+                        "automatic tile selection requires deployed models"
+                    )
+                t = select_tile(sub, self.models).t_best
+            b_view = b[:, off:off + width] if b is not None else None
+            c_view = c[:, off:off + width] if c is not None else None
+            hosts = {
+                "A": _host_operand(sub, "A", a),
+                "B": _host_operand(sub, "B",
+                                   np.ascontiguousarray(b_view)
+                                   if b_view is not None else None),
+                "C": _host_operand(sub, "C", c_view),
+            }
+            ctx = CublasContext(devices[g])
+            schedulers.append(GemmTileScheduler(
+                ctx, sub, t, hosts, alpha=alpha, beta=beta,
+            ))
+        # Issue all shards, then run the shared clock once.
+        t0 = sim.now
+        for sched in schedulers:
+            sched._issue()
+        sim.run()
+        end = sim.now
+        results = []
+        for g, ((off, width), sched, sub) in enumerate(
+                zip(shards, schedulers, shard_problems)):
+            dev = devices[g]
+            if c is not None and loc_c is Loc.DEVICE:
+                out = sched.read_back_device_result()
+                c[:, off:off + width] = out
+            results.append(RunResult(
+                library=self.LIBRARY_NAME,
+                routine=f"{prefix_for(dtype)}gemm",
+                seconds=end - t0,
+                flops=sub.flops(),
+                tile_size=sched.t,
+                h2d_bytes=dev.bytes_moved(Direction.H2D),
+                d2h_bytes=dev.bytes_moved(Direction.D2H),
+                h2d_transfers=dev.transfer_count(Direction.H2D),
+                d2h_transfers=dev.transfer_count(Direction.D2H),
+                kernels=dev.compute.kernels_run,
+            ))
+            sched.release()
+        return MultiGpuResult(seconds=end - t0, shards=results,
+                              n_gpus=len(shards))

@@ -1,0 +1,447 @@
+"""The CoCoPeLia end-to-end BLAS routines (paper Fig. 3, right side).
+
+:class:`CoCoPeLiaLibrary` is the public entry point: it binds a machine
+and its deployed models, exposes ``gemm`` / ``axpy`` with automatic
+tiling-size selection (or an explicit ``tile_size``, mirroring the
+cuBLASXt-style extra parameter used for validation), and reuses model
+decisions across calls with identical parameters.
+
+Each invocation runs on a fresh simulated device (allocation time is
+neither modeled nor measured, matching the paper's methodology of
+excluding buffer allocation from timings and reusing warm buffers).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..backend.cublas import CublasContext
+from ..core.instantiation import MachineModels
+from ..core.params import (
+    CoCoProblem,
+    Loc,
+    axpy_problem,
+    gemm_problem,
+    gemv_problem,
+    prefix_for,
+    syrk_problem,
+)
+from ..core.select import TileChoice, select_tile
+from ..errors import BlasError, SchedulerError
+from ..sim.device import GpuDevice
+from ..sim.machine import MachineConfig
+from ..sim.memory import HostArray
+from .result import RunResult
+from .scheduler import (AxpyTileScheduler, GemmTileScheduler,
+                        GemvTileScheduler, SyrkTileScheduler)
+
+
+def _host_operand(problem: CoCoProblem, name: str,
+                  array: Optional[np.ndarray]) -> HostArray:
+    """Wrap or shadow the source data for one operand."""
+    op = next(o for o in problem.operands if o.name == name)
+    shape = (op.s1,) if op.is_vector else (op.s1, op.s2)
+    if array is None:
+        return HostArray.shadow(shape, problem.dtype, name=name)
+    if array.ndim == 1 and not op.is_vector or array.ndim == 2 and op.is_vector:
+        raise BlasError(f"operand {name} has wrong rank: {array.shape}")
+    if tuple(array.shape) != shape:
+        raise BlasError(
+            f"operand {name} shape {array.shape} != expected {shape}"
+        )
+    if array.dtype != problem.dtype:
+        raise BlasError(
+            f"operand {name} dtype {array.dtype} != problem dtype {problem.dtype}"
+        )
+    return HostArray.wrap(array, pinned=True, name=name)
+
+
+class CoCoPeLiaLibrary:
+    """CoCoPeLia's optimized BLAS subset with runtime tile selection."""
+
+    LIBRARY_NAME = "CoCoPeLia"
+
+    def __init__(
+        self,
+        machine: MachineConfig,
+        models: Optional[MachineModels] = None,
+        model: str = "auto",
+        seed: int = 7,
+    ) -> None:
+        self.machine = machine
+        self.models = models
+        self.model = model
+        self._seed = seed
+        self._calls = 0
+        #: Per-problem model reuse: T_best computed on first invocation
+        #: with a given parameter set, reused afterwards.
+        self._tile_choices: Dict[Tuple, TileChoice] = {}
+
+    # ------------------------------------------------------------------
+
+    def _next_device(self) -> GpuDevice:
+        self._calls += 1
+        return GpuDevice(self.machine, seed=self._seed + self._calls)
+
+    def _choose_tile(self, problem: CoCoProblem) -> TileChoice:
+        if self.models is None:
+            raise BlasError(
+                "automatic tile selection requires deployed models; "
+                "pass tile_size= explicitly or provide MachineModels"
+            )
+        sig = problem.signature()
+        choice = self._tile_choices.get(sig)
+        if choice is None:
+            choice = select_tile(problem, self.models, model=self.model)
+            self._tile_choices[sig] = choice
+        return choice
+
+    def predict(self, problem: CoCoProblem, t: int) -> Optional[float]:
+        """Model prediction for (problem, T), if models are deployed.
+
+        Returns None when the machine database lacks this routine/dtype
+        (explicit-tile calls still run without a prediction).
+        """
+        if self.models is None:
+            return None
+        from ..core.registry import predict as predict_fn
+        from ..errors import ModelError
+
+        try:
+            return predict_fn(self.model, problem, t, self.models,
+                              interpolate=True)
+        except ModelError:
+            return None
+
+    # ------------------------------------------------------------------
+    # gemm
+    # ------------------------------------------------------------------
+
+    def gemm(
+        self,
+        m: Optional[int] = None,
+        n: Optional[int] = None,
+        k: Optional[int] = None,
+        a: Optional[np.ndarray] = None,
+        b: Optional[np.ndarray] = None,
+        c: Optional[np.ndarray] = None,
+        dtype=np.float64,
+        loc_a: Loc = Loc.HOST,
+        loc_b: Loc = Loc.HOST,
+        loc_c: Loc = Loc.HOST,
+        alpha: float = 1.0,
+        beta: float = 1.0,
+        tile_size=None,
+        order: str = "reuse",
+        use_cache: bool = True,
+        rect: bool = False,
+        prefetch_depth=None,
+    ) -> RunResult:
+        """``C = alpha*A@B + beta*C`` with 3-way-concurrency offload.
+
+        Either pass real arrays (``a``, ``b``, ``c`` — compute mode; the
+        result lands in ``c`` for host-resident C, or in
+        ``RunResult.output`` for device-resident C), or pass dimensions
+        only (timing mode).  ``tile_size=None`` invokes the runtime tile
+        selection with this library's prediction model; ``rect=True``
+        searches rectangular (Tm, Tn, Tk) tiles instead of squares (the
+        paper's future-work extension, :mod:`repro.core.rect`).
+        ``tile_size`` also accepts an explicit (Tm, Tn, Tk) triple.
+        """
+        arrays = (a, b, c)
+        if any(x is not None for x in arrays):
+            if any(x is None for x in arrays):
+                raise BlasError("pass all of a, b, c or none of them")
+            m2, k2 = a.shape
+            k3, n2 = b.shape
+            if k2 != k3 or c.shape != (m2, n2):
+                raise BlasError(
+                    f"gemm operand shapes disagree: A {a.shape}, "
+                    f"B {b.shape}, C {c.shape}"
+                )
+            if (m is not None and m != m2) or (n is not None and n != n2) \
+                    or (k is not None and k != k2):
+                raise BlasError("explicit dims disagree with array shapes")
+            m, n, k = m2, n2, k2
+            dtype = a.dtype
+        if m is None or n is None or k is None:
+            raise BlasError("gemm needs dims (m, n, k) or arrays")
+        problem = gemm_problem(m, n, k, dtype, loc_a, loc_b, loc_c)
+        choice: Optional[TileChoice] = None
+        predicted: Optional[float] = None
+        model_name = self.model
+        if tile_size is None:
+            if rect:
+                if self.models is None:
+                    raise BlasError(
+                        "rectangular tile selection requires deployed models"
+                    )
+                from ..core.rect import select_rect_tile
+
+                rect_choice = select_rect_tile(problem, self.models)
+                tile_size = rect_choice.tile.as_tuple()
+                predicted = rect_choice.predicted_time
+                model_name = "dr-rect"
+            else:
+                choice = self._choose_tile(problem)
+                tile_size = choice.t_best
+                predicted = choice.predicted_time
+        elif not isinstance(tile_size, int):
+            tile_size = tuple(int(v) for v in tile_size)
+        if predicted is None and isinstance(tile_size, int):
+            predicted = self.predict(problem, tile_size)
+        device = self._next_device()
+        ctx = CublasContext(device)
+        hosts = {
+            "A": _host_operand(problem, "A", a),
+            "B": _host_operand(problem, "B", b),
+            "C": _host_operand(problem, "C", c),
+        }
+        sched = GemmTileScheduler(
+            ctx, problem, tile_size, hosts,
+            alpha=alpha, beta=beta, order=order, use_cache=use_cache,
+            prefetch_depth=prefetch_depth,
+        )
+        stats = sched.run()
+        output = None
+        if c is not None and loc_c is Loc.DEVICE:
+            output = sched.read_back_device_result()
+        sched.release()
+        tm, tn, tk = sched.tiles_mnk
+        return RunResult(
+            library=self.LIBRARY_NAME,
+            routine=f"{prefix_for(dtype)}gemm",
+            seconds=stats.seconds,
+            flops=problem.flops(),
+            tile_size=tm,
+            h2d_bytes=stats.h2d_bytes,
+            d2h_bytes=stats.d2h_bytes,
+            h2d_transfers=stats.h2d_transfers,
+            d2h_transfers=stats.d2h_transfers,
+            kernels=stats.kernels,
+            predicted_seconds=predicted,
+            model=model_name,
+            extra={"tile_m": tm, "tile_n": tn, "tile_k": tk},
+            output=output,
+        )
+
+    # ------------------------------------------------------------------
+    # syrk (level-3 extension: symmetric rank-k update, built on transb
+    # gemm tiles; only the lower triangle of C is computed and moved)
+    # ------------------------------------------------------------------
+
+    def syrk(
+        self,
+        n: Optional[int] = None,
+        k: Optional[int] = None,
+        a: Optional[np.ndarray] = None,
+        c: Optional[np.ndarray] = None,
+        dtype=np.float64,
+        loc_a: Loc = Loc.HOST,
+        loc_c: Loc = Loc.HOST,
+        alpha: float = 1.0,
+        beta: float = 1.0,
+        tile_size: Optional[int] = None,
+    ) -> RunResult:
+        """``C = alpha*A@A^T + beta*C`` (symmetric C, lower triangle).
+
+        In compute mode only the lower triangle of ``c`` is written —
+        standard BLAS syrk semantics.
+        """
+        arrays = (a, c)
+        if any(v is not None for v in arrays):
+            if any(v is None for v in arrays):
+                raise BlasError("pass both a and c or neither")
+            n2, k2 = a.shape
+            if c.shape != (n2, n2):
+                raise BlasError(
+                    f"syrk operand shapes disagree: A {a.shape}, C {c.shape}"
+                )
+            if (n is not None and n != n2) or (k is not None and k != k2):
+                raise BlasError("explicit dims disagree with array shapes")
+            n, k = n2, k2
+            dtype = a.dtype
+        if n is None or k is None:
+            raise BlasError("syrk needs dims (n, k) or arrays")
+        problem = syrk_problem(n, k, dtype, loc_a, loc_c)
+        choice: Optional[TileChoice] = None
+        if tile_size is None:
+            choice = self._choose_tile(problem)
+            tile_size = choice.t_best
+        device = self._next_device()
+        ctx = CublasContext(device)
+        hosts = {
+            "A": _host_operand(problem, "A", a),
+            "C": _host_operand(problem, "C", c),
+        }
+        # The diagonal tiles compute their full T x T block; BLAS syrk
+        # must leave the strict upper triangle untouched, so it is
+        # restored after the run.
+        upper_backup = None
+        if c is not None and loc_c is Loc.HOST:
+            upper_idx = np.triu_indices(n, k=1)
+            upper_backup = c[upper_idx].copy()
+        sched = SyrkTileScheduler(ctx, problem, tile_size, hosts,
+                                  alpha=alpha, beta=beta)
+        stats = sched.run()
+        output = None
+        if c is not None and loc_c is Loc.DEVICE:
+            output = sched.read_back_device_result()
+            upper_idx = np.triu_indices(n, k=1)
+            output[upper_idx] = c[upper_idx]
+        elif upper_backup is not None:
+            c[upper_idx] = upper_backup
+        sched.release()
+        return RunResult(
+            library=self.LIBRARY_NAME,
+            routine=f"{prefix_for(dtype)}syrk",
+            seconds=stats.seconds,
+            flops=problem.flops(),
+            tile_size=tile_size,
+            h2d_bytes=stats.h2d_bytes,
+            d2h_bytes=stats.d2h_bytes,
+            h2d_transfers=stats.h2d_transfers,
+            d2h_transfers=stats.d2h_transfers,
+            kernels=stats.kernels,
+            predicted_seconds=(choice.predicted_time if choice is not None
+                               else self.predict(problem, tile_size)),
+            model=self.model,
+            output=output,
+        )
+
+    # ------------------------------------------------------------------
+    # gemv (level-2 extension, per the paper's Section IV-B recipe:
+    # a routine wrapper over the per-level tile scheduler plus the
+    # matching prediction model — Eq. 4 for level 2)
+    # ------------------------------------------------------------------
+
+    def gemv(
+        self,
+        m: Optional[int] = None,
+        n: Optional[int] = None,
+        a: Optional[np.ndarray] = None,
+        x: Optional[np.ndarray] = None,
+        y: Optional[np.ndarray] = None,
+        dtype=np.float64,
+        loc_a: Loc = Loc.HOST,
+        loc_x: Loc = Loc.HOST,
+        loc_y: Loc = Loc.HOST,
+        alpha: float = 1.0,
+        beta: float = 1.0,
+        tile_size: Optional[int] = None,
+    ) -> RunResult:
+        """``y = alpha*A@x + beta*y`` with 3-way-concurrency offload."""
+        arrays = (a, x, y)
+        if any(v is not None for v in arrays):
+            if any(v is None for v in arrays):
+                raise BlasError("pass all of a, x, y or none of them")
+            m2, n2 = a.shape
+            if x.shape != (n2,) or y.shape != (m2,):
+                raise BlasError(
+                    f"gemv operand shapes disagree: A {a.shape}, "
+                    f"x {x.shape}, y {y.shape}"
+                )
+            if (m is not None and m != m2) or (n is not None and n != n2):
+                raise BlasError("explicit dims disagree with array shapes")
+            m, n = m2, n2
+            dtype = a.dtype
+        if m is None or n is None:
+            raise BlasError("gemv needs dims (m, n) or arrays")
+        problem = gemv_problem(m, n, dtype, loc_a, loc_x, loc_y)
+        choice: Optional[TileChoice] = None
+        if tile_size is None:
+            choice = self._choose_tile(problem)
+            tile_size = choice.t_best
+        device = self._next_device()
+        ctx = CublasContext(device)
+        hosts = {
+            "A": _host_operand(problem, "A", a),
+            "x": _host_operand(problem, "x", x),
+            "y": _host_operand(problem, "y", y),
+        }
+        sched = GemvTileScheduler(ctx, problem, tile_size, hosts,
+                                  alpha=alpha, beta=beta)
+        stats = sched.run()
+        output = None
+        if y is not None and loc_y is Loc.DEVICE:
+            output = sched.read_back_device_result()
+        sched.release()
+        return RunResult(
+            library=self.LIBRARY_NAME,
+            routine=f"{prefix_for(dtype)}gemv",
+            seconds=stats.seconds,
+            flops=problem.flops(),
+            tile_size=tile_size,
+            h2d_bytes=stats.h2d_bytes,
+            d2h_bytes=stats.d2h_bytes,
+            h2d_transfers=stats.h2d_transfers,
+            d2h_transfers=stats.d2h_transfers,
+            kernels=stats.kernels,
+            predicted_seconds=(choice.predicted_time if choice is not None
+                               else self.predict(problem, tile_size)),
+            model=self.model,
+            output=output,
+        )
+
+    # ------------------------------------------------------------------
+    # axpy
+    # ------------------------------------------------------------------
+
+    def axpy(
+        self,
+        n: Optional[int] = None,
+        x: Optional[np.ndarray] = None,
+        y: Optional[np.ndarray] = None,
+        dtype=np.float64,
+        loc_x: Loc = Loc.HOST,
+        loc_y: Loc = Loc.HOST,
+        alpha: float = 1.0,
+        tile_size: Optional[int] = None,
+    ) -> RunResult:
+        """``y = alpha*x + y`` with chunked 3-way-concurrency offload."""
+        if x is not None or y is not None:
+            if x is None or y is None:
+                raise BlasError("pass both x and y or neither")
+            if x.shape != y.shape:
+                raise BlasError(f"axpy shape mismatch: {x.shape} vs {y.shape}")
+            if n is not None and n != x.shape[0]:
+                raise BlasError("explicit n disagrees with array length")
+            n = x.shape[0]
+            dtype = x.dtype
+        if n is None:
+            raise BlasError("axpy needs n or arrays")
+        problem = axpy_problem(n, dtype, loc_x, loc_y)
+        choice: Optional[TileChoice] = None
+        if tile_size is None:
+            choice = self._choose_tile(problem)
+            tile_size = choice.t_best
+        device = self._next_device()
+        ctx = CublasContext(device)
+        hosts = {
+            "x": _host_operand(problem, "x", x),
+            "y": _host_operand(problem, "y", y),
+        }
+        sched = AxpyTileScheduler(ctx, problem, tile_size, hosts, alpha=alpha)
+        stats = sched.run()
+        output = None
+        if y is not None and loc_y is Loc.DEVICE:
+            output = sched.read_back_device_result()
+        sched.release()
+        return RunResult(
+            library=self.LIBRARY_NAME,
+            routine=f"{prefix_for(dtype)}axpy",
+            seconds=stats.seconds,
+            flops=problem.flops(),
+            tile_size=tile_size,
+            h2d_bytes=stats.h2d_bytes,
+            d2h_bytes=stats.d2h_bytes,
+            h2d_transfers=stats.h2d_transfers,
+            d2h_transfers=stats.d2h_transfers,
+            kernels=stats.kernels,
+            predicted_seconds=(choice.predicted_time if choice is not None
+                               else self.predict(problem, tile_size)),
+            model=self.model,
+            output=output,
+        )

@@ -1,0 +1,610 @@
+"""The CoCoPeLia tile scheduler (paper Section IV-C).
+
+Splits the problem into square tiles, matches tile addresses to host
+windows, and issues the whole subkernel pipeline asynchronously using
+one stream per operation class — h2d transfers, kernel execution, d2h
+transfers — exactly the structure the 3-way-concurrency models assume.
+Data reuse is fetch-once via :class:`~repro.runtime.cache.TileCache`.
+
+Two subkernel traversal orders are provided for the ablation study:
+
+* ``reuse`` (default): for each output column block, for each output row
+  block, sweep the inner dimension — successive subkernels share two of
+  their three tiles, so steady-state subkernels fetch at most one tile
+  (the DR model's collapse assumption);
+* ``l_outer``: inner dimension outermost — same fetch-once totals, but
+  every output tile completes only at the very end, so writebacks
+  cannot overlap execution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, Optional, Tuple
+
+import numpy as np
+
+from ..backend.cublas import CublasContext, DeviceVector
+from ..core.params import CoCoProblem, Loc, OperandInstance
+from ..errors import SchedulerError
+from ..sim.link import Direction
+from ..sim.memory import HostArray
+from ..sim.stream import Stream
+from .cache import TileCache, TileEntry
+from .tiles import Grid1D, Grid2D
+
+TRAVERSAL_ORDERS = ("reuse", "l_outer")
+
+
+@dataclass
+class ScheduleStats:
+    """What one scheduled run did, as counted by the device."""
+
+    seconds: float
+    h2d_bytes: int
+    d2h_bytes: int
+    h2d_transfers: int
+    d2h_transfers: int
+    kernels: int
+
+
+class _PipelineBase:
+    """Common machinery: streams, counters, timed synchronization."""
+
+    def __init__(self, ctx: CublasContext, problem: CoCoProblem,
+                 hosts: Dict[str, HostArray]) -> None:
+        self.ctx = ctx
+        self.problem = problem
+        self.device = ctx.device
+        for op in problem.operands:
+            if op.name not in hosts:
+                raise SchedulerError(
+                    f"missing source data for operand {op.name!r}"
+                )
+        self.hosts = hosts
+        self.s_h2d = self.device.create_stream("pipe-h2d")
+        self.s_exec = self.device.create_stream("pipe-exec")
+        self.s_d2h = self.device.create_stream("pipe-d2h")
+
+    def _snapshot(self) -> Tuple[int, int, int, int, int]:
+        dev = self.device
+        return (
+            dev.bytes_moved(Direction.H2D),
+            dev.bytes_moved(Direction.D2H),
+            dev.transfer_count(Direction.H2D),
+            dev.transfer_count(Direction.D2H),
+            dev.compute.kernels_run,
+        )
+
+    def _timed_run(self, issue) -> ScheduleStats:
+        before = self._snapshot()
+        t0 = self.device.sim.now
+        issue()
+        end = self.device.synchronize()
+        after = self._snapshot()
+        return ScheduleStats(
+            seconds=end - t0,
+            h2d_bytes=after[0] - before[0],
+            d2h_bytes=after[1] - before[1],
+            h2d_transfers=after[2] - before[2],
+            d2h_transfers=after[3] - before[3],
+            kernels=after[4] - before[4],
+        )
+
+
+class GemmTileScheduler(_PipelineBase):
+    """Pipelined, reuse-aware tiled gemm: ``C = alpha*A@B + beta*C``."""
+
+    def __init__(
+        self,
+        ctx: CublasContext,
+        problem: CoCoProblem,
+        t: int,
+        hosts: Dict[str, HostArray],
+        alpha: float = 1.0,
+        beta: float = 1.0,
+        order: str = "reuse",
+        use_cache: bool = True,
+        prefetch_depth: Optional[int] = None,
+    ) -> None:
+        super().__init__(ctx, problem, hosts)
+        if problem.routine.name != "gemm":
+            raise SchedulerError(
+                f"GemmTileScheduler got a {problem.routine.name} problem"
+            )
+        if prefetch_depth is not None and prefetch_depth < 1:
+            raise SchedulerError(
+                f"prefetch depth must be >= 1, got {prefetch_depth}"
+            )
+        #: How many subkernels the h2d stream may run ahead of the
+        #: compute stream (None = unbounded, the paper's setting since
+        #: evaluated problems fit device memory).
+        self.prefetch_depth = prefetch_depth
+        if order not in TRAVERSAL_ORDERS:
+            raise SchedulerError(
+                f"unknown traversal order {order!r}; valid: {TRAVERSAL_ORDERS}"
+            )
+        # A scalar t gives the paper's square tiling; a (tm, tn, tk)
+        # triple gives rectangular tiling (repro.core.rect extension).
+        if isinstance(t, int):
+            tm = tn = tk = t
+        else:
+            try:
+                tm, tn, tk = (int(v) for v in t)
+            except (TypeError, ValueError):
+                raise SchedulerError(
+                    f"tile size must be an int or a (tm, tn, tk) triple, "
+                    f"got {t!r}"
+                ) from None
+        if min(tm, tn, tk) <= 0:
+            raise SchedulerError(f"non-positive tile size {(tm, tn, tk)}")
+        m, n, k = problem.dims
+        self.t = tm
+        self.tiles_mnk = (tm, tn, tk)
+        self.alpha = alpha
+        self.beta = beta
+        self.order = order
+        self.use_cache = use_cache
+        self.grid_a = Grid2D(m, k, tm, tk)
+        self.grid_b = Grid2D(k, n, tk, tn)
+        self.grid_c = Grid2D(m, n, tm, tn)
+        self.cache = TileCache(ctx)
+        self._operand = {op.name: op for op in problem.operands}
+
+    # ------------------------------------------------------------------
+
+    def _fetch_tile(self, name: str, grid: Grid2D, i: int, j: int) -> TileEntry:
+        """Resident tile for operand ``name`` at grid position (i, j).
+
+        C tiles are always cached even with ``use_cache=False``: the
+        inner-dimension accumulation requires each output tile to stay
+        resident until its last subkernel (this is also what cuBLASXt
+        does — only *input* reuse is absent there).
+        """
+        cached = self.use_cache or name == "C"
+        key = (name, i, j)
+        if cached and key in self.cache:
+            return self.cache.get(key)
+        op = self._operand[name]
+        host = self.hosts[name]
+        r0, c0, rows, cols = grid.tile_window(i, j)
+        mat = self.ctx.alloc_matrix(
+            rows, cols, self.problem.dtype,
+            with_data=host.has_data, name=f"{name}({i},{j})",
+        )
+        entry = TileEntry(matrix=mat)
+        if op.loc is Loc.DEVICE:
+            # Operand already resident on the GPU: no timed transfer.
+            if host.has_data:
+                mat.array[:, :] = host.array[r0:r0 + rows, c0:c0 + cols]
+        else:
+            self.ctx.set_matrix_async(
+                host, r0, c0, mat, self.s_h2d, tag=f"h2d:{name}({i},{j})"
+            )
+            entry.ready = self.s_h2d.record_event()
+        if cached:
+            self.cache.insert(key, entry)
+        return entry
+
+    def _subkernels(self) -> Iterator[Tuple[int, int, int]]:
+        mt, nt = self.grid_c.row_tiles, self.grid_c.col_tiles
+        kt = self.grid_a.col_tiles
+        if self.order == "reuse":
+            for j in range(nt):
+                for i in range(mt):
+                    for l in range(kt):
+                        yield i, j, l
+        else:  # l_outer
+            for l in range(kt):
+                for j in range(nt):
+                    for i in range(mt):
+                        yield i, j, l
+
+    def _issue(self) -> None:
+        kt = self.grid_a.col_tiles
+        c_op = self._operand["C"]
+        c_host = self.hosts["C"]
+        done_k: Dict[Tuple[int, int], int] = {}
+        transient: list = []
+        kernel_events: list = []
+        for idx, (i, j, l) in enumerate(self._subkernels()):
+            if (self.prefetch_depth is not None
+                    and idx >= self.prefetch_depth):
+                # Bounded lookahead: transfers for subkernel `idx` may
+                # only start once kernel `idx - depth` has finished.
+                self.s_h2d.wait_event(
+                    kernel_events[idx - self.prefetch_depth])
+            ea = self._fetch_tile("A", self.grid_a, i, l)
+            eb = self._fetch_tile("B", self.grid_b, l, j)
+            ec = self._fetch_tile("C", self.grid_c, i, j)
+            for entry in (ea, eb, ec):
+                entry.make_stream_wait(self.s_exec)
+            beta_eff = self.beta if done_k.get((i, j), 0) == 0 else 1.0
+            self.ctx.gemm_async(
+                ea.matrix, eb.matrix, ec.matrix, self.s_exec,
+                alpha=self.alpha, beta=beta_eff,
+                tag=f"gemm({i},{j},{l})",
+            )
+            if self.prefetch_depth is not None:
+                kernel_events.append(self.s_exec.record_event())
+            ec.dirty = True
+            done_k[(i, j)] = done_k.get((i, j), 0) + 1
+            if done_k[(i, j)] == kt:
+                if c_op.set:
+                    kernel_ev = self.s_exec.record_event()
+                    self.s_d2h.wait_event(kernel_ev)
+                    r0, c0, _, _ = self.grid_c.tile_window(i, j)
+                    self.ctx.get_matrix_async(
+                        ec.matrix, c_host, r0, c0, self.s_d2h,
+                        tag=f"d2h:C({i},{j})",
+                    )
+                    ec.dirty = False
+            if not self.use_cache:
+                # A/B tiles are single-use without the cache; C tiles
+                # live in the cache regardless (see _fetch_tile).
+                transient.extend([ea, eb])
+        # Without a cache nothing else references the tiles; they are
+        # freed after the run by run() via _transient.
+        self._transient = transient
+
+    def run(self) -> ScheduleStats:
+        stats = self._timed_run(self._issue)
+        return stats
+
+    def read_back_device_result(self) -> np.ndarray:
+        """Assemble the device-resident C (loc=DEVICE) into an ndarray.
+
+        Verification helper — not part of the timed execution.
+        """
+        c_op = self._operand["C"]
+        if c_op.loc is not Loc.DEVICE:
+            raise SchedulerError("C was written back to the host; read it there")
+        m, n = self.grid_c.rows, self.grid_c.cols
+        out = np.zeros((m, n), dtype=self.problem.dtype)
+        for i in range(self.grid_c.row_tiles):
+            for j in range(self.grid_c.col_tiles):
+                entry = self.cache.get(("C", i, j))
+                if entry.matrix.array is None:
+                    raise SchedulerError("no data to read back (timing mode)")
+                r0, c0, rows, cols = self.grid_c.tile_window(i, j)
+                out[r0:r0 + rows, c0:c0 + cols] = entry.matrix.array
+        return out
+
+    def release(self) -> None:
+        """Free all device tiles held by this schedule."""
+        self.cache.free_all()
+        for entry in getattr(self, "_transient", []):
+            entry.matrix.free()
+        self._transient = []
+
+
+class SyrkTileScheduler(_PipelineBase):
+    """Pipelined tiled syrk: ``C = alpha*A@A^T + beta*C`` (C symmetric,
+    lower triangle computed and moved).
+
+    Demonstrates the Section IV-B routine-extension recipe on a reuse
+    pattern square tiling cannot mimic with gemm: each A row-panel tile
+    serves *both* operand roles (left factor and transposed right
+    factor), so the fetched volume is half of the equivalent gemm's and
+    only ``Nt(Nt+1)/2`` output tiles exist.
+    """
+
+    def __init__(
+        self,
+        ctx: CublasContext,
+        problem: CoCoProblem,
+        t: int,
+        hosts: Dict[str, HostArray],
+        alpha: float = 1.0,
+        beta: float = 1.0,
+    ) -> None:
+        super().__init__(ctx, problem, hosts)
+        if problem.routine.name != "syrk":
+            raise SchedulerError(
+                f"SyrkTileScheduler got a {problem.routine.name} problem"
+            )
+        if t <= 0:
+            raise SchedulerError(f"non-positive tile size {t}")
+        n, k = problem.dims
+        self.t = t
+        self.alpha = alpha
+        self.beta = beta
+        self.grid_a = Grid2D(n, k, t)
+        self.grid_c = Grid2D(n, n, t)
+        self.cache = TileCache(ctx)
+        self._operand = {op.name: op for op in problem.operands}
+
+    def _fetch_tile(self, name: str, grid: Grid2D, i: int, j: int) -> TileEntry:
+        key = (name, i, j)
+        if key in self.cache:
+            return self.cache.get(key)
+        op = self._operand[name]
+        host = self.hosts[name]
+        r0, c0, rows, cols = grid.tile_window(i, j)
+        mat = self.ctx.alloc_matrix(
+            rows, cols, self.problem.dtype,
+            with_data=host.has_data, name=f"{name}({i},{j})",
+        )
+        entry = TileEntry(matrix=mat)
+        if op.loc is Loc.DEVICE:
+            if host.has_data:
+                mat.array[:, :] = host.array[r0:r0 + rows, c0:c0 + cols]
+        else:
+            self.ctx.set_matrix_async(
+                host, r0, c0, mat, self.s_h2d, tag=f"h2d:{name}({i},{j})"
+            )
+            entry.ready = self.s_h2d.record_event()
+        self.cache.insert(key, entry)
+        return entry
+
+    def _issue(self) -> None:
+        nt = self.grid_c.row_tiles
+        kt = self.grid_a.col_tiles
+        c_op = self._operand["C"]
+        c_host = self.hosts["C"]
+        for j in range(nt):
+            for i in range(j, nt):  # lower triangle: i >= j
+                for l in range(kt):
+                    ea = self._fetch_tile("A", self.grid_a, i, l)
+                    eb = self._fetch_tile("A", self.grid_a, j, l)
+                    ec = self._fetch_tile("C", self.grid_c, i, j)
+                    for entry in (ea, eb, ec):
+                        entry.make_stream_wait(self.s_exec)
+                    beta_eff = self.beta if l == 0 else 1.0
+                    # C(i,j) += A(i,:) @ A(j,:)^T — a transb gemm tile.
+                    self.ctx.gemm_async(
+                        ea.matrix, eb.matrix, ec.matrix, self.s_exec,
+                        alpha=self.alpha, beta=beta_eff, transb=True,
+                        tag=f"syrk({i},{j},{l})",
+                    )
+                if c_op.set:
+                    kernel_ev = self.s_exec.record_event()
+                    self.s_d2h.wait_event(kernel_ev)
+                    r0, c0, _, _ = self.grid_c.tile_window(i, j)
+                    self.ctx.get_matrix_async(
+                        self.cache.get(("C", i, j)).matrix, c_host, r0, c0,
+                        self.s_d2h, tag=f"d2h:C({i},{j})",
+                    )
+
+    def run(self) -> ScheduleStats:
+        return self._timed_run(self._issue)
+
+    def read_back_device_result(self) -> np.ndarray:
+        c_op = self._operand["C"]
+        if c_op.loc is not Loc.DEVICE:
+            raise SchedulerError("C was written back to the host; read it there")
+        n = self.grid_c.rows
+        out = np.zeros((n, n), dtype=self.problem.dtype)
+        for j in range(self.grid_c.col_tiles):
+            for i in range(j, self.grid_c.row_tiles):
+                entry = self.cache.get(("C", i, j))
+                if entry.matrix.array is None:
+                    raise SchedulerError("no data to read back (timing mode)")
+                r0, c0, rows, cols = self.grid_c.tile_window(i, j)
+                out[r0:r0 + rows, c0:c0 + cols] = entry.matrix.array
+        return out
+
+    def release(self) -> None:
+        self.cache.free_all()
+
+
+class GemvTileScheduler(_PipelineBase):
+    """Pipelined tiled gemv: ``y = alpha*A@x + beta*y`` (level-2 BLAS).
+
+    Section III-C: level-2 BLAS has a minor working-set overlap — the
+    vectors are reused across the matrix tiles — which this scheduler
+    exploits (x chunks fetched once); the matrix, the dominant traffic,
+    has no reuse, matching the Eq. 4 (BTS) model the paper prescribes
+    for this level.
+    """
+
+    def __init__(
+        self,
+        ctx: CublasContext,
+        problem: CoCoProblem,
+        t: int,
+        hosts: Dict[str, HostArray],
+        alpha: float = 1.0,
+        beta: float = 1.0,
+    ) -> None:
+        super().__init__(ctx, problem, hosts)
+        if problem.routine.name != "gemv":
+            raise SchedulerError(
+                f"GemvTileScheduler got a {problem.routine.name} problem"
+            )
+        if t <= 0:
+            raise SchedulerError(f"non-positive tile size {t}")
+        m, n = problem.dims
+        self.t = t
+        self.alpha = alpha
+        self.beta = beta
+        self.grid_a = Grid2D(m, n, t)
+        self.grid_x = Grid1D(n, t)
+        self.grid_y = Grid1D(m, t)
+        self._operand = {op.name: op for op in problem.operands}
+        self._x_chunks: Dict[int, Tuple[DeviceVector, object]] = {}
+        self._y_chunks: Dict[int, Tuple[DeviceVector, object]] = {}
+        self._a_tiles: list = []
+
+    def _fetch_vector_chunk(self, name: str, grid: Grid1D, i: int,
+                            cache: Dict) -> Tuple[DeviceVector, object]:
+        if i in cache:
+            return cache[i]
+        op = self._operand[name]
+        host = self.hosts[name]
+        off, length = grid.tile_span(i)
+        vec = self.ctx.alloc_vector(
+            length, self.problem.dtype, with_data=host.has_data,
+            name=f"{name}[{i}]",
+        )
+        ev = None
+        if op.loc is Loc.DEVICE:
+            if host.has_data:
+                vec.array[:] = host.array[off:off + length]
+        else:
+            self.ctx.set_vector_async(host, off, vec, self.s_h2d,
+                                      tag=f"h2d:{name}[{i}]")
+            ev = self.s_h2d.record_event()
+        cache[i] = (vec, ev)
+        return cache[i]
+
+    def _fetch_a_tile(self, i: int, j: int):
+        op = self._operand["A"]
+        host = self.hosts["A"]
+        r0, c0, rows, cols = self.grid_a.tile_window(i, j)
+        mat = self.ctx.alloc_matrix(
+            rows, cols, self.problem.dtype, with_data=host.has_data,
+            name=f"A({i},{j})",
+        )
+        self._a_tiles.append(mat)
+        ev = None
+        if op.loc is Loc.DEVICE:
+            if host.has_data:
+                mat.array[:, :] = host.array[r0:r0 + rows, c0:c0 + cols]
+        else:
+            self.ctx.set_matrix_async(host, r0, c0, mat, self.s_h2d,
+                                      tag=f"h2d:A({i},{j})")
+            ev = self.s_h2d.record_event()
+        return mat, ev
+
+    def _issue(self) -> None:
+        y_op = self._operand["y"]
+        y_host = self.hosts["y"]
+        n_col_tiles = self.grid_a.col_tiles
+        waited: set = set()
+        for i in range(self.grid_a.row_tiles):
+            y_vec, y_ev = self._fetch_vector_chunk("y", self.grid_y, i,
+                                                   self._y_chunks)
+            if y_ev is not None and id(y_ev) not in waited:
+                self.s_exec.wait_event(y_ev)
+                waited.add(id(y_ev))
+            for j in range(n_col_tiles):
+                x_vec, x_ev = self._fetch_vector_chunk("x", self.grid_x, j,
+                                                       self._x_chunks)
+                if x_ev is not None and id(x_ev) not in waited:
+                    self.s_exec.wait_event(x_ev)
+                    waited.add(id(x_ev))
+                a_mat, a_ev = self._fetch_a_tile(i, j)
+                if a_ev is not None:
+                    self.s_exec.wait_event(a_ev)
+                beta_eff = self.beta if j == 0 else 1.0
+                self.ctx.gemv_async(
+                    a_mat, x_vec, y_vec, self.s_exec,
+                    alpha=self.alpha, beta=beta_eff,
+                    tag=f"gemv({i},{j})",
+                )
+            if y_op.set:
+                kernel_ev = self.s_exec.record_event()
+                self.s_d2h.wait_event(kernel_ev)
+                off, _ = self.grid_y.tile_span(i)
+                self.ctx.get_vector_async(y_vec, y_host, off, self.s_d2h,
+                                          tag=f"d2h:y[{i}]")
+
+    def run(self) -> ScheduleStats:
+        return self._timed_run(self._issue)
+
+    def read_back_device_result(self) -> np.ndarray:
+        y_op = self._operand["y"]
+        if y_op.loc is not Loc.DEVICE:
+            raise SchedulerError("y was written back to the host; read it there")
+        m, _ = self.problem.dims
+        out = np.zeros(m, dtype=self.problem.dtype)
+        for i, (vec, _ev) in self._y_chunks.items():
+            if vec.array is None:
+                raise SchedulerError("no data to read back (timing mode)")
+            off, length = self.grid_y.tile_span(i)
+            out[off:off + length] = vec.array
+        return out
+
+    def release(self) -> None:
+        for vec, _ in self._x_chunks.values():
+            vec.free()
+        for vec, _ in self._y_chunks.values():
+            vec.free()
+        for mat in self._a_tiles:
+            mat.free()
+        self._x_chunks.clear()
+        self._y_chunks.clear()
+        self._a_tiles.clear()
+
+
+class AxpyTileScheduler(_PipelineBase):
+    """Pipelined chunked axpy: ``y = alpha*x + y`` (level-1 BLAS)."""
+
+    def __init__(
+        self,
+        ctx: CublasContext,
+        problem: CoCoProblem,
+        t: int,
+        hosts: Dict[str, HostArray],
+        alpha: float = 1.0,
+    ) -> None:
+        super().__init__(ctx, problem, hosts)
+        if problem.routine.name != "axpy":
+            raise SchedulerError(
+                f"AxpyTileScheduler got a {problem.routine.name} problem"
+            )
+        (n,) = problem.dims
+        self.t = t
+        self.alpha = alpha
+        self.grid = Grid1D(n, t)
+        self._operand = {op.name: op for op in problem.operands}
+        self._chunks: Dict[Tuple[str, int], DeviceVector] = {}
+
+    def _fetch_chunk(self, name: str, i: int) -> Tuple[DeviceVector, Optional[object]]:
+        op = self._operand[name]
+        host = self.hosts[name]
+        off, length = self.grid.tile_span(i)
+        vec = self.ctx.alloc_vector(
+            length, self.problem.dtype, with_data=host.has_data,
+            name=f"{name}[{i}]",
+        )
+        self._chunks[(name, i)] = vec
+        if op.loc is Loc.DEVICE:
+            if host.has_data:
+                vec.array[:] = host.array[off:off + length]
+            return vec, None
+        self.ctx.set_vector_async(host, off, vec, self.s_h2d,
+                                  tag=f"h2d:{name}[{i}]")
+        return vec, self.s_h2d.record_event()
+
+    def _issue(self) -> None:
+        y_op = self._operand["y"]
+        y_host = self.hosts["y"]
+        for i in self.grid:
+            x_vec, x_ev = self._fetch_chunk("x", i)
+            y_vec, y_ev = self._fetch_chunk("y", i)
+            for ev in (x_ev, y_ev):
+                if ev is not None:
+                    self.s_exec.wait_event(ev)
+            self.ctx.axpy_async(x_vec, y_vec, self.s_exec,
+                                alpha=self.alpha, tag=f"axpy[{i}]")
+            if y_op.set:
+                kernel_ev = self.s_exec.record_event()
+                self.s_d2h.wait_event(kernel_ev)
+                off, _ = self.grid.tile_span(i)
+                self.ctx.get_vector_async(y_vec, y_host, off, self.s_d2h,
+                                          tag=f"d2h:y[{i}]")
+
+    def run(self) -> ScheduleStats:
+        return self._timed_run(self._issue)
+
+    def read_back_device_result(self) -> np.ndarray:
+        """Assemble device-resident y into an ndarray (verification)."""
+        y_op = self._operand["y"]
+        if y_op.loc is not Loc.DEVICE:
+            raise SchedulerError("y was written back to the host; read it there")
+        (n,) = self.problem.dims
+        out = np.zeros(n, dtype=self.problem.dtype)
+        for i in self.grid:
+            off, length = self.grid.tile_span(i)
+            vec = self._chunks[("y", i)]
+            if vec.array is None:
+                raise SchedulerError("no data to read back (timing mode)")
+            out[off:off + length] = vec.array
+        return out
+
+    def release(self) -> None:
+        for vec in self._chunks.values():
+            vec.free()
+        self._chunks.clear()

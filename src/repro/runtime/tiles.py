@@ -1,0 +1,94 @@
+"""Square tile decomposition and address matching.
+
+The paper's libraries split matrices into ``T x T`` squares (vectors
+into length-``T`` chunks).  These grids own the index arithmetic: tile
+counts, per-tile shapes including ragged edges, and the host offsets
+each tile maps to.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterator, Tuple
+
+from ..errors import SchedulerError
+
+
+@dataclass(frozen=True)
+class Grid1D:
+    """A length-``n`` vector split into chunks of ``t`` elements."""
+
+    n: int
+    t: int
+
+    def __post_init__(self) -> None:
+        if self.n <= 0 or self.t <= 0:
+            raise SchedulerError(f"invalid 1-D grid: n={self.n}, t={self.t}")
+
+    @property
+    def n_tiles(self) -> int:
+        return math.ceil(self.n / self.t)
+
+    def tile_span(self, i: int) -> Tuple[int, int]:
+        """(offset, length) of chunk ``i``."""
+        if not 0 <= i < self.n_tiles:
+            raise SchedulerError(f"chunk index {i} out of range [0, {self.n_tiles})")
+        off = i * self.t
+        return off, min(self.t, self.n - off)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(range(self.n_tiles))
+
+
+@dataclass(frozen=True)
+class Grid2D:
+    """A ``rows x cols`` matrix split into ``t x t_col`` tiles.
+
+    ``t_col`` defaults to ``t`` (the paper's square tiling); passing a
+    different value gives the rectangular tiling of the paper's
+    future-work extension (see :mod:`repro.core.rect`).
+    """
+
+    rows: int
+    cols: int
+    t: int
+    t_col: int = 0  # 0 means "same as t"
+
+    def __post_init__(self) -> None:
+        if self.t_col == 0:
+            object.__setattr__(self, "t_col", self.t)
+        if self.rows <= 0 or self.cols <= 0 or self.t <= 0 or self.t_col <= 0:
+            raise SchedulerError(
+                f"invalid 2-D grid: {self.rows}x{self.cols}, "
+                f"t={self.t}x{self.t_col}"
+            )
+
+    @property
+    def row_tiles(self) -> int:
+        return math.ceil(self.rows / self.t)
+
+    @property
+    def col_tiles(self) -> int:
+        return math.ceil(self.cols / self.t_col)
+
+    @property
+    def n_tiles(self) -> int:
+        return self.row_tiles * self.col_tiles
+
+    def tile_window(self, i: int, j: int) -> Tuple[int, int, int, int]:
+        """(row0, col0, rows, cols) of tile (i, j), edge-aware."""
+        if not (0 <= i < self.row_tiles and 0 <= j < self.col_tiles):
+            raise SchedulerError(
+                f"tile ({i}, {j}) out of range "
+                f"[0,{self.row_tiles})x[0,{self.col_tiles})"
+            )
+        r0 = i * self.t
+        c0 = j * self.t_col
+        return (r0, c0, min(self.t, self.rows - r0),
+                min(self.t_col, self.cols - c0))
+
+    def __iter__(self) -> Iterator[Tuple[int, int]]:
+        for i in range(self.row_tiles):
+            for j in range(self.col_tiles):
+                yield i, j

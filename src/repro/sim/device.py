@@ -1,0 +1,205 @@
+"""The simulated GPU device: façade over link, compute engine, memory.
+
+A :class:`GpuDevice` is what the cuBLAS-like backend talks to.  It owns
+the simulator clock, the duplex PCIe link, the kernel engine, memory
+accounting, the machine's noise model, and (optionally) a trace
+recorder.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Tuple
+
+import numpy as np
+
+from ..errors import DeviceMemoryError, SimulationError, StreamError
+from .engine import Simulator
+from .link import Direction, DuplexLink
+from .machine import MachineConfig
+from .memory import DeviceBuffer
+from .noise import NoiseModel
+from .stream import (
+    KIND_D2H,
+    KIND_EXEC,
+    KIND_H2D,
+    ComputeEngine,
+    CudaEvent,
+    Operation,
+    Stream,
+    _complete_operation,
+)
+from .trace import TraceRecorder
+
+
+class GpuDevice:
+    """One simulated host+GPU system built from a :class:`MachineConfig`."""
+
+    def __init__(
+        self,
+        config: MachineConfig,
+        sim: Optional[Simulator] = None,
+        seed: int = 0,
+        trace: bool = False,
+    ) -> None:
+        self.config = config
+        self.sim = sim if sim is not None else Simulator()
+        self.noise = NoiseModel(seed=seed, sigma=config.noise_sigma)
+        self.trace: Optional[TraceRecorder] = TraceRecorder() if trace else None
+        self.link = DuplexLink(
+            self.sim, config.h2d, config.d2h, noise=self.noise, trace=self.trace
+        )
+        self.compute = ComputeEngine(self.sim, noise=self.noise, trace=self.trace)
+        self._used_bytes = 0
+        self._streams: Dict[str, Stream] = {}
+
+    # ------------------------------------------------------------------
+    # memory management
+    # ------------------------------------------------------------------
+
+    @property
+    def mem_capacity(self) -> int:
+        return self.config.gpu_mem_bytes
+
+    @property
+    def mem_used(self) -> int:
+        return self._used_bytes
+
+    @property
+    def mem_free(self) -> int:
+        return self.config.gpu_mem_bytes - self._used_bytes
+
+    def alloc(
+        self,
+        nbytes: int,
+        shape: Optional[Tuple[int, ...]] = None,
+        dtype=None,
+        with_data: bool = False,
+        name: str = "",
+    ) -> DeviceBuffer:
+        """Allocate device memory; raises on simulated OOM.
+
+        ``with_data=True`` materializes a numpy array (compute mode).
+        """
+        if nbytes > self.mem_free:
+            raise DeviceMemoryError(nbytes, self.mem_free, self.mem_capacity)
+        array = None
+        if with_data:
+            if shape is None or dtype is None:
+                raise SimulationError("with_data allocation requires shape and dtype")
+            array = np.zeros(shape, dtype=dtype)
+        buf = DeviceBuffer(nbytes, shape=shape, dtype=dtype, array=array, name=name)
+        self._used_bytes += buf.nbytes
+        return buf
+
+    def free(self, buf: DeviceBuffer) -> None:
+        buf.check_alive()
+        buf.freed = True
+        buf.array = None
+        self._used_bytes -= buf.nbytes
+        if self._used_bytes < 0:
+            raise SimulationError("device memory accounting went negative")
+
+    # ------------------------------------------------------------------
+    # streams and events
+    # ------------------------------------------------------------------
+
+    def create_stream(self, name: str = "") -> Stream:
+        stream = Stream(self, name=name)
+        self._streams[stream.name] = stream
+        return stream
+
+    def record_event(self, stream: Stream) -> CudaEvent:
+        return stream.record_event()
+
+    def synchronize(self) -> float:
+        """cudaDeviceSynchronize: drain all pending work.
+
+        Returns the virtual time at which the device became idle.
+        """
+        self.sim.run()
+        for stream in self._streams.values():
+            if not stream.idle:
+                raise StreamError(
+                    f"stream {stream.name!r} still busy after global sync: "
+                    "dependency deadlock (an operation waits on work that "
+                    "was never enqueued)"
+                )
+        return self.sim.now
+
+    # ------------------------------------------------------------------
+    # asynchronous operations
+    # ------------------------------------------------------------------
+
+    def memcpy_h2d_async(
+        self,
+        nbytes: int,
+        stream: Stream,
+        tag: str = "",
+        payload: Optional[Callable[[], None]] = None,
+    ) -> Operation:
+        """Enqueue a host-to-device copy of ``nbytes`` on ``stream``."""
+        return self._transfer_async(Direction.H2D, nbytes, stream, tag, payload)
+
+    def memcpy_d2h_async(
+        self,
+        nbytes: int,
+        stream: Stream,
+        tag: str = "",
+        payload: Optional[Callable[[], None]] = None,
+    ) -> Operation:
+        """Enqueue a device-to-host copy of ``nbytes`` on ``stream``."""
+        return self._transfer_async(Direction.D2H, nbytes, stream, tag, payload)
+
+    def _transfer_async(
+        self,
+        direction: Direction,
+        nbytes: int,
+        stream: Stream,
+        tag: str,
+        payload: Optional[Callable[[], None]],
+    ) -> Operation:
+        kind = KIND_H2D if direction is Direction.H2D else KIND_D2H
+        op = Operation(kind, nbytes=nbytes, tag=tag, payload=payload)
+
+        def dispatch() -> None:
+            self.link.submit(
+                direction,
+                nbytes,
+                on_complete=lambda: _complete_operation(op),
+                tag=tag,
+            )
+
+        stream.enqueue(op, dispatch)
+        return op
+
+    def launch_async(
+        self,
+        duration: float,
+        stream: Stream,
+        tag: str = "",
+        flops: float = 0.0,
+        payload: Optional[Callable[[], None]] = None,
+    ) -> Operation:
+        """Enqueue a kernel of the given ground-truth ``duration``."""
+        if duration < 0:
+            raise SimulationError(f"negative kernel duration: {duration}")
+        op = Operation(KIND_EXEC, duration=duration, flops=flops, tag=tag,
+                       payload=payload)
+        stream.enqueue(op, lambda: self.compute.submit(op))
+        return op
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+
+    def transfer_count(self, direction: Direction) -> int:
+        return self.link.stats(direction).transfers
+
+    def bytes_moved(self, direction: Direction) -> int:
+        return self.link.stats(direction).bytes_moved
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<GpuDevice {self.config.name} t={self.sim.now:.6f}s "
+            f"mem={self._used_bytes}/{self.config.gpu_mem_bytes}>"
+        )

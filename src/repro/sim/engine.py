@@ -1,0 +1,163 @@
+"""Discrete-event simulation core.
+
+A :class:`Simulator` owns a virtual clock and an event heap.  Components
+schedule callbacks at absolute or relative virtual times; running the
+simulator pops events in time order (FIFO among equal timestamps) and
+invokes them.  Events can be cancelled, which is how the duplex link
+re-plans in-flight transfers when contention changes.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, List, Optional, Tuple
+
+from ..errors import SimulationError
+
+
+class ScheduledEvent:
+    """Handle for a scheduled callback; supports O(1) cancellation."""
+
+    __slots__ = ("time", "seq", "callback", "cancelled")
+
+    def __init__(self, time: float, seq: int, callback: Callable[[], None]):
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Mark the event as cancelled; it will be skipped when popped."""
+        self.cancelled = True
+
+    def __lt__(self, other: "ScheduledEvent") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        return f"<ScheduledEvent t={self.time:.9f} seq={self.seq} {state}>"
+
+
+class Simulator:
+    """Virtual-time event loop.
+
+    The clock only moves forward, and only while :meth:`run` (or one of
+    its bounded variants) is executing.  Determinism: two events at the
+    same timestamp fire in scheduling order.
+    """
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._seq = 0
+        self._heap: List[ScheduledEvent] = []
+        self._running = False
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    @property
+    def pending_events(self) -> int:
+        """Number of scheduled, not-yet-cancelled events."""
+        return sum(1 for ev in self._heap if not ev.cancelled)
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> ScheduledEvent:
+        """Schedule ``callback`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        return self.schedule_at(self._now + delay, callback)
+
+    def schedule_at(self, time: float, callback: Callable[[], None]) -> ScheduledEvent:
+        """Schedule ``callback`` at absolute virtual time ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at t={time} before now={self._now}"
+            )
+        ev = ScheduledEvent(time, self._seq, callback)
+        self._seq += 1
+        heapq.heappush(self._heap, ev)
+        return ev
+
+    def _pop_next(self) -> Optional[ScheduledEvent]:
+        while self._heap:
+            ev = heapq.heappop(self._heap)
+            if not ev.cancelled:
+                return ev
+        return None
+
+    def run(self, max_events: int = 50_000_000) -> int:
+        """Run until no events remain.  Returns the number fired.
+
+        ``max_events`` is a runaway guard: a cycle of self-rescheduling
+        events raises instead of hanging forever.
+        """
+        if self._running:
+            raise SimulationError("simulator is already running (re-entrant run)")
+        self._running = True
+        fired = 0
+        try:
+            while True:
+                ev = self._pop_next()
+                if ev is None:
+                    break
+                self._now = ev.time
+                ev.callback()
+                fired += 1
+                if fired > max_events:
+                    raise SimulationError(
+                        f"event budget exhausted after {max_events} events; "
+                        "likely a scheduling cycle"
+                    )
+        finally:
+            self._running = False
+        return fired
+
+    def run_until(self, predicate: Callable[[], bool], max_events: int = 50_000_000) -> int:
+        """Run until ``predicate()`` is true or no events remain."""
+        if self._running:
+            raise SimulationError("simulator is already running (re-entrant run)")
+        self._running = True
+        fired = 0
+        try:
+            while not predicate():
+                ev = self._pop_next()
+                if ev is None:
+                    break
+                self._now = ev.time
+                ev.callback()
+                fired += 1
+                if fired > max_events:
+                    raise SimulationError(
+                        f"event budget exhausted after {max_events} events"
+                    )
+        finally:
+            self._running = False
+        return fired
+
+    def peek_next_time(self) -> Optional[float]:
+        """Timestamp of the next pending event, or None if idle."""
+        for ev in sorted(self._heap):
+            if not ev.cancelled:
+                return ev.time
+        return None
+
+    def advance_to(self, time: float) -> None:
+        """Move the clock forward with no events (only valid when idle).
+
+        Used by benchmark drivers to model host-side gaps between
+        operations.
+        """
+        if self._running:
+            raise SimulationError("cannot advance the clock during a run")
+        if time < self._now:
+            raise SimulationError(f"cannot move time backwards to {time}")
+        nxt = self.peek_next_time()
+        if nxt is not None and nxt < time:
+            raise SimulationError(
+                f"cannot skip over a pending event at t={nxt}"
+            )
+        self._now = time
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Simulator now={self._now:.9f} pending={self.pending_events}>"

@@ -1,0 +1,307 @@
+"""Duplex host-device link with bidirectional contention.
+
+Models the PCIe behaviour the CoCoPeLia paper's BTS model is about:
+
+* separate h2d and d2h copy engines, each processing one transfer at a
+  time in FIFO order;
+* a per-transfer fixed latency (setup) phase followed by a byte-flow
+  phase at the direction's bandwidth;
+* an *asymmetric bidirectional slowdown*: while both directions are in
+  their byte-flow phase simultaneously, each direction's rate drops by
+  its own slowdown factor (d2h is typically hurt more, per the paper).
+
+The byte-flow phase is a fluid model: when the opposite direction starts
+or stops flowing, the in-flight transfer is re-planned — bytes done so
+far are integrated at the old rate and the completion event is
+rescheduled at the new rate.  This is what produces the partial-overlap
+behaviour of the paper's Eq. 3 as *ground truth*.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Dict, Optional
+
+from ..errors import InvalidTransferError, SimulationError
+from .engine import ScheduledEvent, Simulator
+from .noise import NoiseModel
+
+
+class Direction(enum.Enum):
+    """Transfer direction over the duplex link."""
+
+    H2D = "h2d"
+    D2H = "d2h"
+
+    @property
+    def opposite(self) -> "Direction":
+        return Direction.D2H if self is Direction.H2D else Direction.H2D
+
+
+@dataclass(frozen=True)
+class LinkDirectionConfig:
+    """Ground-truth parameters for one link direction.
+
+    latency
+        Per-transfer setup time in seconds (the paper's ``t_l``).
+    bandwidth
+        Unidirectional byte rate in bytes/second (``1/t_b``).
+    bid_slowdown
+        Factor (>= 1) by which this direction slows while the opposite
+        direction is also flowing (the paper's ``sl``).
+    """
+
+    latency: float
+    bandwidth: float
+    bid_slowdown: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.latency < 0:
+            raise InvalidTransferError(f"negative latency: {self.latency}")
+        if self.bandwidth <= 0:
+            raise InvalidTransferError(f"non-positive bandwidth: {self.bandwidth}")
+        if self.bid_slowdown < 1.0:
+            raise InvalidTransferError(
+                f"bidirectional slowdown must be >= 1, got {self.bid_slowdown}"
+            )
+
+
+class _Phase(enum.Enum):
+    IDLE = 0
+    LATENCY = 1
+    FLOW = 2
+
+
+class _Job:
+    """One queued or in-flight transfer."""
+
+    __slots__ = (
+        "nbytes",
+        "on_complete",
+        "tag",
+        "remaining",
+        "rate_scale",
+        "submit_time",
+        "start_time",
+    )
+
+    def __init__(
+        self,
+        nbytes: int,
+        on_complete: Optional[Callable[[], None]],
+        tag: str,
+        rate_scale: float,
+    ) -> None:
+        self.nbytes = nbytes
+        self.on_complete = on_complete
+        self.tag = tag
+        self.remaining = float(nbytes)
+        #: multiplicative noise on this job's effective bandwidth
+        self.rate_scale = rate_scale
+        self.submit_time: float = 0.0
+        self.start_time: float = 0.0
+
+
+@dataclass
+class DirectionStats:
+    """Aggregate counters for one direction, for tests and reports."""
+
+    transfers: int = 0
+    bytes_moved: int = 0
+    busy_time: float = 0.0
+    flow_time: float = 0.0
+    bid_overlap_time: float = 0.0
+
+
+class _DirectionState:
+    __slots__ = (
+        "cfg",
+        "queue",
+        "active",
+        "phase",
+        "completion",
+        "last_update",
+        "rate",
+        "stats",
+    )
+
+    def __init__(self, cfg: LinkDirectionConfig) -> None:
+        self.cfg = cfg
+        self.queue: Deque[_Job] = deque()
+        self.active: Optional[_Job] = None
+        self.phase = _Phase.IDLE
+        self.completion: Optional[ScheduledEvent] = None
+        self.last_update = 0.0
+        self.rate = 0.0
+        self.stats = DirectionStats()
+
+
+class DuplexLink:
+    """The host<->device interconnect: two contending copy engines."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        h2d: LinkDirectionConfig,
+        d2h: LinkDirectionConfig,
+        noise: Optional[NoiseModel] = None,
+        trace=None,
+    ) -> None:
+        self._sim = sim
+        self._dirs: Dict[Direction, _DirectionState] = {
+            Direction.H2D: _DirectionState(h2d),
+            Direction.D2H: _DirectionState(d2h),
+        }
+        self._noise = noise
+        self._trace = trace
+
+    def config(self, direction: Direction) -> LinkDirectionConfig:
+        return self._dirs[direction].cfg
+
+    def stats(self, direction: Direction) -> DirectionStats:
+        return self._dirs[direction].stats
+
+    def queue_depth(self, direction: Direction) -> int:
+        st = self._dirs[direction]
+        return len(st.queue) + (1 if st.active is not None else 0)
+
+    def is_flowing(self, direction: Direction) -> bool:
+        return self._dirs[direction].phase is _Phase.FLOW
+
+    def submit(
+        self,
+        direction: Direction,
+        nbytes: int,
+        on_complete: Optional[Callable[[], None]] = None,
+        tag: str = "",
+    ) -> None:
+        """Enqueue a transfer of ``nbytes`` in ``direction``.
+
+        ``on_complete`` fires at the virtual time the last byte lands.
+        """
+        if nbytes < 0:
+            raise InvalidTransferError(f"negative transfer size: {nbytes}")
+        scale = 1.0
+        if self._noise is not None:
+            scale = self._noise.rate_factor()
+        job = _Job(nbytes, on_complete, tag, scale)
+        job.submit_time = self._sim.now
+        self._dirs[direction].queue.append(job)
+        self._try_start(direction)
+
+    # ------------------------------------------------------------------
+    # internal machinery
+    # ------------------------------------------------------------------
+
+    def _try_start(self, direction: Direction) -> None:
+        st = self._dirs[direction]
+        if st.active is not None or not st.queue:
+            return
+        job = st.queue.popleft()
+        st.active = job
+        st.phase = _Phase.LATENCY
+        job.start_time = self._sim.now
+        latency = st.cfg.latency
+        if self._noise is not None:
+            latency *= self._noise.latency_factor()
+        st.completion = self._sim.schedule(
+            latency, lambda d=direction: self._begin_flow(d)
+        )
+
+    def _current_rate(self, direction: Direction) -> float:
+        """Byte rate for ``direction`` given both directions' phases."""
+        st = self._dirs[direction]
+        other = self._dirs[direction.opposite]
+        rate = st.cfg.bandwidth
+        if other.phase is _Phase.FLOW:
+            rate /= st.cfg.bid_slowdown
+        assert st.active is not None
+        return rate * st.active.rate_scale
+
+    def _begin_flow(self, direction: Direction) -> None:
+        st = self._dirs[direction]
+        if st.active is None:
+            raise SimulationError("flow began with no active transfer")
+        st.phase = _Phase.FLOW
+        st.last_update = self._sim.now
+        if st.active.remaining <= 0.0:
+            # Zero-byte transfer: latency only.
+            self._complete(direction)
+            return
+        self._reschedule(direction)
+        # The opposite direction just gained a contender: slow it down.
+        self._replan(direction.opposite)
+
+    def _reschedule(self, direction: Direction) -> None:
+        """(Re)compute the completion event from current remaining bytes."""
+        st = self._dirs[direction]
+        assert st.active is not None
+        if st.completion is not None:
+            st.completion.cancel()
+        st.rate = self._current_rate(direction)
+        eta = st.active.remaining / st.rate
+        st.completion = self._sim.schedule(
+            eta, lambda d=direction: self._complete(d)
+        )
+
+    def _accrue(self, direction: Direction, elapsed: float) -> None:
+        """Account flow time (and contended flow time) for a span during
+        which the contention state was constant.
+
+        Whether the span was contended is derived from the rate in force
+        during the span (``st.rate``), which encodes the old contention
+        state even when this is called mid-transition.
+        """
+        if elapsed <= 0:
+            return
+        st = self._dirs[direction]
+        st.stats.flow_time += elapsed
+        assert st.active is not None
+        uncontended = st.cfg.bandwidth * st.active.rate_scale
+        if st.rate < uncontended * (1.0 - 1e-12):
+            st.stats.bid_overlap_time += elapsed
+
+    def _replan(self, direction: Direction) -> None:
+        """Integrate progress and re-plan after a contention change."""
+        st = self._dirs[direction]
+        if st.phase is not _Phase.FLOW or st.active is None:
+            return
+        now = self._sim.now
+        elapsed = now - st.last_update
+        if elapsed > 0:
+            done = elapsed * st.rate
+            st.active.remaining = max(0.0, st.active.remaining - done)
+            self._accrue(direction, elapsed)
+        st.last_update = now
+        self._reschedule(direction)
+
+    def _complete(self, direction: Direction) -> None:
+        st = self._dirs[direction]
+        job = st.active
+        if job is None:
+            raise SimulationError("completion fired with no active transfer")
+        now = self._sim.now
+        if st.phase is _Phase.FLOW:
+            self._accrue(direction, now - st.last_update)
+        job.remaining = 0.0
+        st.phase = _Phase.IDLE
+        st.active = None
+        st.completion = None
+        st.stats.transfers += 1
+        st.stats.bytes_moved += job.nbytes
+        st.stats.busy_time += now - job.start_time
+        if self._trace is not None:
+            self._trace.record(
+                engine=direction.value,
+                tag=job.tag,
+                start=job.start_time,
+                end=now,
+                nbytes=job.nbytes,
+            )
+        # The opposite direction lost its contender: speed it up.
+        self._replan(direction.opposite)
+        if job.on_complete is not None:
+            job.on_complete()
+        self._try_start(direction)

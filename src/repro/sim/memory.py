@@ -1,0 +1,107 @@
+"""Host and device buffer abstractions.
+
+Buffers support two data policies (DESIGN.md section 6):
+
+* **compute mode** — the buffer carries a real numpy array; transfers
+  and kernels move/compute actual values, so numerical results can be
+  verified against the reference BLAS.
+* **timing mode** — the buffer is metadata only (a byte count); the
+  simulator produces timings for problem sizes whose data would be too
+  large to materialize.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..errors import SimulationError
+from ..units import dtype_size
+
+_buffer_ids = itertools.count()
+
+
+class HostArray:
+    """A host-side operand: optionally backed by a real numpy array.
+
+    The paper requires pinned host memory for async CUDA copies; the
+    ``pinned`` flag exists so the backend can enforce the same rule.
+    """
+
+    def __init__(
+        self,
+        shape: Tuple[int, ...],
+        dtype,
+        array: Optional[np.ndarray] = None,
+        pinned: bool = True,
+        name: str = "",
+    ) -> None:
+        self.shape = tuple(int(s) for s in shape)
+        self.dtype = np.dtype(dtype)
+        if array is not None and tuple(array.shape) != self.shape:
+            raise SimulationError(
+                f"array shape {array.shape} != declared shape {self.shape}"
+            )
+        self.array = array
+        self.pinned = pinned
+        self.name = name or f"host{next(_buffer_ids)}"
+
+    @classmethod
+    def wrap(cls, array: np.ndarray, pinned: bool = True, name: str = "") -> "HostArray":
+        """Wrap an existing numpy array (compute mode)."""
+        return cls(array.shape, array.dtype, array=array, pinned=pinned, name=name)
+
+    @classmethod
+    def shadow(cls, shape: Tuple[int, ...], dtype, name: str = "") -> "HostArray":
+        """A metadata-only host operand (timing mode)."""
+        return cls(shape, dtype, array=None, name=name)
+
+    @property
+    def nbytes(self) -> int:
+        n = dtype_size(self.dtype)
+        for s in self.shape:
+            n *= s
+        return n
+
+    @property
+    def has_data(self) -> bool:
+        return self.array is not None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        mode = "data" if self.has_data else "shadow"
+        return f"<HostArray {self.name} {self.shape} {self.dtype} {mode}>"
+
+
+class DeviceBuffer:
+    """A slab of simulated GPU memory, optionally backed by an ndarray."""
+
+    def __init__(
+        self,
+        nbytes: int,
+        shape: Optional[Tuple[int, ...]] = None,
+        dtype=None,
+        array: Optional[np.ndarray] = None,
+        name: str = "",
+    ) -> None:
+        if nbytes < 0:
+            raise SimulationError(f"negative buffer size: {nbytes}")
+        self.nbytes = int(nbytes)
+        self.shape = tuple(int(s) for s in shape) if shape is not None else None
+        self.dtype = np.dtype(dtype) if dtype is not None else None
+        self.array = array
+        self.name = name or f"dev{next(_buffer_ids)}"
+        self.freed = False
+
+    @property
+    def has_data(self) -> bool:
+        return self.array is not None
+
+    def check_alive(self) -> None:
+        if self.freed:
+            raise SimulationError(f"use-after-free of device buffer {self.name}")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "freed" if self.freed else "live"
+        return f"<DeviceBuffer {self.name} {self.nbytes}B {state}>"

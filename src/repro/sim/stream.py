@@ -1,0 +1,262 @@
+"""CUDA-like streams, events, and the compute engine.
+
+Semantics mirror the subset of CUDA the paper's library uses:
+
+* operations enqueued on one stream execute in order;
+* operations on different streams may overlap, subject to engine
+  availability (one h2d copy engine, one d2h copy engine, one kernel
+  engine);
+* ``CudaEvent`` provides cross-stream ordering, as used by the tile
+  scheduler to make a kernel wait for its tiles' transfers.
+
+Engines pick among *ready* operations in issue order (no head-of-line
+blocking across streams), which matches the behaviour of modern CUDA
+hardware queues closely enough for the paper's pipelines.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from typing import Callable, Deque, List, Optional
+
+from ..errors import StreamError
+from .engine import Simulator
+
+_op_ids = itertools.count()
+
+KIND_H2D = "h2d"
+KIND_D2H = "d2h"
+KIND_EXEC = "exec"
+_VALID_KINDS = (KIND_H2D, KIND_D2H, KIND_EXEC)
+
+
+class Operation:
+    """A unit of asynchronous device work (transfer or kernel)."""
+
+    __slots__ = (
+        "op_id",
+        "kind",
+        "nbytes",
+        "duration",
+        "flops",
+        "tag",
+        "payload",
+        "remaining_deps",
+        "dependents",
+        "done",
+        "issued",
+        "callbacks",
+        "_dispatch",
+    )
+
+    def __init__(
+        self,
+        kind: str,
+        nbytes: int = 0,
+        duration: float = 0.0,
+        flops: float = 0.0,
+        tag: str = "",
+        payload: Optional[Callable[[], None]] = None,
+    ) -> None:
+        if kind not in _VALID_KINDS:
+            raise StreamError(f"invalid operation kind: {kind!r}")
+        self.op_id = next(_op_ids)
+        self.kind = kind
+        self.nbytes = nbytes
+        self.duration = duration
+        self.flops = flops
+        self.tag = tag
+        self.payload = payload
+        self.remaining_deps = 0
+        self.dependents: List["Operation"] = []
+        self.done = False
+        self.issued = False
+        self.callbacks: List[Callable[[], None]] = []
+
+    def add_dependency(self, dep: "Operation") -> None:
+        """Make this op wait for ``dep`` (no-op if dep already done)."""
+        if self.issued:
+            raise StreamError("cannot add a dependency to an issued operation")
+        if dep.done:
+            return
+        dep.dependents.append(self)
+        self.remaining_deps += 1
+
+    def on_done(self, fn: Callable[[], None]) -> None:
+        """Run ``fn`` at the op's completion time (immediately if done)."""
+        if self.done:
+            fn()
+        else:
+            self.callbacks.append(fn)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "done" if self.done else ("issued" if self.issued else "pending")
+        return f"<Op #{self.op_id} {self.kind} {self.tag!r} {state}>"
+
+
+class CudaEvent:
+    """Cross-stream synchronization marker (cudaEventRecord/WaitEvent)."""
+
+    def __init__(self) -> None:
+        self._marker: Optional[Operation] = None
+        self._recorded = False
+
+    def _bind(self, marker: Optional[Operation]) -> None:
+        self._marker = marker
+        self._recorded = True
+
+    @property
+    def recorded(self) -> bool:
+        return self._recorded
+
+    @property
+    def complete(self) -> bool:
+        if not self._recorded:
+            return False
+        return self._marker is None or self._marker.done
+
+
+class ComputeEngine:
+    """The GPU's kernel execution engine: one kernel at a time, FIFO."""
+
+    def __init__(self, sim: Simulator, noise=None, trace=None) -> None:
+        self._sim = sim
+        self._noise = noise
+        self._trace = trace
+        self._queue: Deque[Operation] = deque()
+        self._active: Optional[Operation] = None
+        self._start_time = 0.0
+        self.kernels_run = 0
+        self.busy_time = 0.0
+
+    @property
+    def idle(self) -> bool:
+        return self._active is None and not self._queue
+
+    def submit(self, op: Operation) -> None:
+        self._queue.append(op)
+        self._maybe_start()
+
+    def _maybe_start(self) -> None:
+        if self._active is not None or not self._queue:
+            return
+        op = self._queue.popleft()
+        self._active = op
+        self._start_time = self._sim.now
+        duration = op.duration
+        if self._noise is not None:
+            duration *= self._noise.duration_factor()
+        self._sim.schedule(duration, self._finish)
+
+    def _finish(self) -> None:
+        op = self._active
+        assert op is not None
+        now = self._sim.now
+        self.kernels_run += 1
+        self.busy_time += now - self._start_time
+        if self._trace is not None:
+            self._trace.record(
+                engine=KIND_EXEC,
+                tag=op.tag,
+                start=self._start_time,
+                end=now,
+                flops=op.flops,
+            )
+        self._active = None
+        _complete_operation(op)
+        self._maybe_start()
+
+
+def _complete_operation(op: Operation) -> None:
+    """Run the payload, mark done, release dependents and callbacks."""
+    if op.payload is not None:
+        op.payload()
+    op.done = True
+    for cb in op.callbacks:
+        cb()
+    op.callbacks.clear()
+    for dep in op.dependents:
+        dep.remaining_deps -= 1
+        if dep.remaining_deps == 0 and not dep.done:
+            dep_device_dispatch = dep._dispatch  # type: ignore[attr-defined]
+            dep_device_dispatch()
+    op.dependents.clear()
+
+
+class Stream:
+    """An in-order queue of device operations (a CUDA stream)."""
+
+    def __init__(self, device, name: str = "") -> None:
+        self._device = device
+        self.name = name or f"stream{next(_op_ids)}"
+        self._last: Optional[Operation] = None
+        self._pending_waits: List[Operation] = []
+        self.ops_enqueued = 0
+
+    @property
+    def last_op(self) -> Optional[Operation]:
+        return self._last
+
+    def wait_event(self, event: CudaEvent) -> None:
+        """All work enqueued after this call waits for ``event``."""
+        if not event.recorded:
+            raise StreamError("waiting on an event that was never recorded")
+        if event._marker is not None and not event._marker.done:
+            self._pending_waits.append(event._marker)
+
+    def enqueue(self, op: Operation, dispatch: Callable[[], None]) -> None:
+        """Attach stream-order dependencies and issue when ready.
+
+        ``dispatch`` hands the op to its engine; it runs now if all
+        dependencies are already satisfied, later otherwise.
+        """
+        op._dispatch = _DispatchOnce(op, dispatch)  # type: ignore[attr-defined]
+        if self._last is not None:
+            op.add_dependency(self._last)
+        for marker in self._pending_waits:
+            op.add_dependency(marker)
+        self._pending_waits.clear()
+        self._last = op
+        self.ops_enqueued += 1
+        if op.remaining_deps == 0:
+            op._dispatch()  # type: ignore[attr-defined]
+
+    def record_event(self) -> CudaEvent:
+        """Record an event capturing all work enqueued so far."""
+        ev = CudaEvent()
+        ev._bind(self._last)
+        return ev
+
+    def synchronize(self) -> None:
+        """Run the simulator until all work in this stream completes."""
+        last = self._last
+        if last is None:
+            return
+        self._device.sim.run_until(lambda: last.done)
+        if not last.done:
+            raise StreamError(
+                f"stream {self.name!r} did not drain: dependency deadlock"
+            )
+
+    @property
+    def idle(self) -> bool:
+        return self._last is None or self._last.done
+
+
+class _DispatchOnce:
+    """Guards an operation's engine dispatch against double submission."""
+
+    __slots__ = ("_op", "_fn", "_fired")
+
+    def __init__(self, op: Operation, fn: Callable[[], None]) -> None:
+        self._op = op
+        self._fn = fn
+        self._fired = False
+
+    def __call__(self) -> None:
+        if self._fired:
+            raise StreamError(f"operation dispatched twice: {self._op!r}")
+        self._fired = True
+        self._op.issued = True
+        self._fn()

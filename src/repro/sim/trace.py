@@ -1,0 +1,167 @@
+"""Timeline tracing for the simulated engines.
+
+Every engine activity (h2d transfer, d2h transfer, kernel execution)
+can be recorded as a :class:`TraceEvent`.  The recorder feeds two
+consumers: assertions in tests (e.g. "the compute engine was never idle
+between subkernels") and the Fig. 2-style ASCII pipeline rendering used
+by ``repro.experiments.fig2_pipeline``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One contiguous activity interval on one engine."""
+
+    engine: str
+    tag: str
+    start: float
+    end: float
+    nbytes: int = 0
+    flops: float = 0.0
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+class TraceRecorder:
+    """Accumulates engine activity intervals in completion order."""
+
+    def __init__(self) -> None:
+        self.events: List[TraceEvent] = []
+        self.enabled = True
+
+    def record(
+        self,
+        engine: str,
+        tag: str,
+        start: float,
+        end: float,
+        nbytes: int = 0,
+        flops: float = 0.0,
+    ) -> None:
+        if not self.enabled:
+            return
+        self.events.append(TraceEvent(engine, tag, start, end, nbytes, flops))
+
+    def clear(self) -> None:
+        self.events.clear()
+
+    def by_engine(self, engine: str) -> List[TraceEvent]:
+        return [ev for ev in self.events if ev.engine == engine]
+
+    def engines(self) -> List[str]:
+        seen: Dict[str, None] = {}
+        for ev in self.events:
+            seen.setdefault(ev.engine, None)
+        return list(seen)
+
+    def busy_time(self, engine: str) -> float:
+        """Total busy time of an engine (intervals never overlap because
+        each engine processes one job at a time)."""
+        return sum(ev.duration for ev in self.by_engine(engine))
+
+    def makespan(self) -> float:
+        if not self.events:
+            return 0.0
+        return max(ev.end for ev in self.events) - min(ev.start for ev in self.events)
+
+    def overlap_time(self, engine_a: str, engine_b: str) -> float:
+        """Total time during which both engines were simultaneously busy."""
+        total = 0.0
+        evs_b = sorted(self.by_engine(engine_b), key=lambda e: e.start)
+        for ea in self.by_engine(engine_a):
+            for eb in evs_b:
+                lo = max(ea.start, eb.start)
+                hi = min(ea.end, eb.end)
+                if hi > lo:
+                    total += hi - lo
+                if eb.start >= ea.end:
+                    break
+        return total
+
+
+def to_chrome_trace(trace: TraceRecorder, time_unit: float = 1e-6) -> List[dict]:
+    """Export the trace in Chrome trace-event format.
+
+    Load the JSON-dumped result in ``chrome://tracing`` / Perfetto for
+    an interactive pipeline timeline.  ``time_unit`` converts simulated
+    seconds to the microsecond timestamps the format expects.
+    """
+    events: List[dict] = []
+    for tid, engine in enumerate(trace.engines()):
+        events.append({
+            "name": "thread_name",
+            "ph": "M",
+            "pid": 1,
+            "tid": tid,
+            "args": {"name": engine},
+        })
+        for ev in trace.by_engine(engine):
+            events.append({
+                "name": ev.tag or engine,
+                "cat": engine,
+                "ph": "X",
+                "pid": 1,
+                "tid": tid,
+                "ts": ev.start / time_unit,
+                "dur": ev.duration / time_unit,
+                "args": {"nbytes": ev.nbytes, "flops": ev.flops},
+            })
+    return events
+
+
+def utilization_report(trace: TraceRecorder) -> Dict[str, float]:
+    """Per-engine busy fraction of the makespan (plus 'overlap_h2d_exec')."""
+    span = trace.makespan()
+    if span <= 0:
+        return {}
+    report = {
+        engine: trace.busy_time(engine) / span for engine in trace.engines()
+    }
+    if "h2d" in report and "exec" in report:
+        report["overlap_h2d_exec"] = trace.overlap_time("h2d", "exec") / span
+    return report
+
+
+def render_timeline(
+    trace: TraceRecorder,
+    width: int = 100,
+    engines: Optional[Iterable[str]] = None,
+    charset: Optional[Dict[str, str]] = None,
+) -> str:
+    """Render the trace as an ASCII timeline, one row per engine.
+
+    This is the reproduction medium for the paper's Fig. 2 pipeline
+    illustration: each engine's busy intervals are drawn as filled
+    blocks on a common time axis.
+    """
+    if not trace.events:
+        return "(empty trace)"
+    names = list(engines) if engines is not None else trace.engines()
+    t0 = min(ev.start for ev in trace.events)
+    t1 = max(ev.end for ev in trace.events)
+    span = max(t1 - t0, 1e-12)
+    default_chars = {"h2d": "v", "d2h": "^", "exec": "#"}
+    chars = dict(default_chars)
+    if charset:
+        chars.update(charset)
+    lines = []
+    label_w = max(len(n) for n in names) + 1
+    for name in names:
+        row = [" "] * width
+        for ev in trace.by_engine(name):
+            lo = int((ev.start - t0) / span * (width - 1))
+            hi = int((ev.end - t0) / span * (width - 1))
+            ch = chars.get(name, "#")
+            for i in range(lo, max(hi, lo) + 1):
+                row[i] = ch
+        lines.append(f"{name.rjust(label_w)} |{''.join(row)}|")
+    axis = f"{' ' * label_w} 0{' ' * (width - len(f'{span * 1e3:.2f} ms') - 1)}{span * 1e3:.2f} ms"
+    lines.append(axis)
+    return "\n".join(lines)

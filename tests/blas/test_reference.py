@@ -1,0 +1,136 @@
+"""Unit tests for the numpy reference BLAS and validation helpers."""
+
+import numpy as np
+import pytest
+
+from repro.blas.reference import ref_axpy, ref_gemm, ref_gemv
+from repro.blas.validation import (
+    assert_allclose_blas,
+    relative_error,
+    tolerance_for,
+)
+from repro.errors import BlasError
+
+
+@pytest.fixture()
+def mats(rng):
+    a = rng.standard_normal((5, 7))
+    b = rng.standard_normal((7, 6))
+    c = rng.standard_normal((5, 6))
+    return a, b, c
+
+
+class TestRefGemm:
+    def test_matches_numpy(self, mats):
+        a, b, c = mats
+        out = ref_gemm(a, b, c, 2.0, 3.0)
+        np.testing.assert_allclose(out, 2.0 * (a @ b) + 3.0 * c)
+
+    def test_default_coefficients(self, mats):
+        a, b, c = mats
+        np.testing.assert_allclose(ref_gemm(a, b, c), a @ b + c)
+
+    def test_beta_zero_ignores_c(self, mats):
+        a, b, c = mats
+        np.testing.assert_allclose(ref_gemm(a, b, c, 1.0, 0.0), a @ b)
+
+    def test_does_not_mutate_inputs(self, mats):
+        a, b, c = mats
+        c0 = c.copy()
+        ref_gemm(a, b, c)
+        np.testing.assert_array_equal(c, c0)
+
+    def test_float32_stays_float32(self, rng):
+        a = rng.standard_normal((3, 3)).astype(np.float32)
+        out = ref_gemm(a, a, a)
+        assert out.dtype == np.float32
+
+    def test_shape_mismatch_rejected(self, rng):
+        a = rng.standard_normal((3, 4))
+        b = rng.standard_normal((5, 6))
+        c = rng.standard_normal((3, 6))
+        with pytest.raises(BlasError):
+            ref_gemm(a, b, c)
+
+    def test_mixed_dtypes_rejected(self, rng):
+        a = rng.standard_normal((3, 3))
+        b = a.astype(np.float32)
+        with pytest.raises(BlasError):
+            ref_gemm(a, b, a)
+
+    def test_int_dtype_rejected(self):
+        a = np.ones((2, 2), dtype=np.int64)
+        with pytest.raises(BlasError):
+            ref_gemm(a, a, a)
+
+    def test_non_2d_rejected(self, rng):
+        v = rng.standard_normal(3)
+        m = rng.standard_normal((3, 3))
+        with pytest.raises(BlasError):
+            ref_gemm(v, m, m)
+
+
+class TestRefGemv:
+    def test_matches_numpy(self, rng):
+        a = rng.standard_normal((4, 6))
+        x = rng.standard_normal(6)
+        y = rng.standard_normal(4)
+        np.testing.assert_allclose(
+            ref_gemv(a, x, y, 2.0, -1.0), 2.0 * (a @ x) - y
+        )
+
+    def test_shape_mismatch_rejected(self, rng):
+        a = rng.standard_normal((4, 6))
+        with pytest.raises(BlasError):
+            ref_gemv(a, rng.standard_normal(5), rng.standard_normal(4))
+
+
+class TestRefAxpy:
+    def test_matches_numpy(self, rng):
+        x = rng.standard_normal(100)
+        y = rng.standard_normal(100)
+        np.testing.assert_allclose(ref_axpy(x, y, 3.0), 3.0 * x + y)
+
+    def test_length_mismatch_rejected(self, rng):
+        with pytest.raises(BlasError):
+            ref_axpy(rng.standard_normal(5), rng.standard_normal(6))
+
+    def test_matrix_rejected(self, rng):
+        m = rng.standard_normal((3, 3))
+        with pytest.raises(BlasError):
+            ref_axpy(m, m)
+
+
+class TestValidation:
+    def test_tolerance_scales_with_depth(self):
+        assert tolerance_for(np.float64, 10000) > tolerance_for(np.float64, 1)
+
+    def test_tolerance_scales_with_dtype(self):
+        assert tolerance_for(np.float32) > tolerance_for(np.float64)
+
+    def test_relative_error_zero_for_identical(self, rng):
+        a = rng.standard_normal((4, 4))
+        assert relative_error(a, a.copy()) == 0.0
+
+    def test_relative_error_magnitude(self):
+        ref = np.array([1.0, 2.0, 4.0])
+        res = np.array([1.0, 2.0, 4.4])
+        assert relative_error(res, ref) == pytest.approx(0.1)
+
+    def test_relative_error_zero_reference(self):
+        assert relative_error(np.array([0.5]), np.zeros(1)) == 0.5
+
+    def test_relative_error_shape_mismatch(self):
+        with pytest.raises(BlasError):
+            relative_error(np.zeros(3), np.zeros(4))
+
+    def test_assert_allclose_passes_within_tolerance(self, rng):
+        a = rng.standard_normal((8, 8))
+        b = a * (1 + 1e-14)
+        assert_allclose_blas(b, a, reduction_depth=8)
+
+    def test_assert_allclose_fails_beyond_tolerance(self, rng):
+        a = rng.standard_normal((8, 8))
+        b = a + 0.1
+        with pytest.raises(AssertionError, match="mismatch"):
+            assert_allclose_blas(b, a, reduction_depth=8, context="unit")

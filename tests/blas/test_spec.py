@@ -1,0 +1,110 @@
+"""Unit tests for routine specifications."""
+
+import pytest
+
+from repro.blas.spec import (
+    AXPY,
+    GEMM,
+    GEMV,
+    OperandRole,
+    get_routine,
+)
+from repro.errors import BlasError
+
+
+class TestRoles:
+    def test_in_is_input_only(self):
+        assert OperandRole.IN.is_input and not OperandRole.IN.is_output
+
+    def test_out_is_output_only(self):
+        assert OperandRole.OUT.is_output and not OperandRole.OUT.is_input
+
+    def test_inout_is_both(self):
+        assert OperandRole.INOUT.is_input and OperandRole.INOUT.is_output
+
+
+class TestGemmSpec:
+    def test_levels_and_dims(self):
+        assert GEMM.level == 3
+        assert GEMM.ndims == 3
+        assert GEMM.opd == 3
+
+    def test_operand_shapes(self):
+        dims = (100, 200, 300)  # (M, N, K)
+        a, b, c = GEMM.operands
+        assert a.sizes(dims) == (100, 300)
+        assert b.sizes(dims) == (300, 200)
+        assert c.sizes(dims) == (100, 200)
+
+    def test_flops(self):
+        assert GEMM.flops((10, 20, 30)) == 2.0 * 10 * 20 * 30
+
+    def test_total_elements(self):
+        assert GEMM.total_elements((10, 20, 30)) == 10 * 30 + 30 * 20 + 10 * 20
+
+    def test_roles(self):
+        a, b, c = GEMM.operands
+        assert a.role is OperandRole.IN
+        assert b.role is OperandRole.IN
+        assert c.role is OperandRole.INOUT
+
+
+class TestGemvSpec:
+    def test_shapes(self):
+        dims = (100, 200)
+        a, x, y = GEMV.operands
+        assert a.sizes(dims) == (100, 200)
+        assert x.sizes(dims) == (200, 1)
+        assert y.sizes(dims) == (100, 1)
+
+    def test_flops(self):
+        assert GEMV.flops((100, 200)) == 2.0 * 100 * 200
+
+
+class TestAxpySpec:
+    def test_level_one(self):
+        assert AXPY.level == 1
+        assert AXPY.ndims == 1
+        assert AXPY.opd == 2
+
+    def test_shapes(self):
+        x, y = AXPY.operands
+        assert x.sizes((1000,)) == (1000, 1)
+        assert y.sizes((1000,)) == (1000, 1)
+
+    def test_flops(self):
+        assert AXPY.flops((1000,)) == 2000.0
+
+
+class TestDimChecks:
+    def test_wrong_arity_rejected(self):
+        with pytest.raises(BlasError):
+            GEMM.check_dims((10, 20))
+        with pytest.raises(BlasError):
+            AXPY.check_dims((10, 20))
+
+    def test_non_positive_rejected(self):
+        with pytest.raises(BlasError):
+            GEMM.check_dims((10, 0, 30))
+        with pytest.raises(BlasError):
+            AXPY.check_dims((-5,))
+
+    def test_check_dims_coerces_ints(self):
+        assert GEMM.check_dims([10.0, 20, 30]) == (10, 20, 30)
+
+
+class TestLookup:
+    def test_plain_names(self):
+        assert get_routine("gemm") is GEMM
+        assert get_routine("axpy") is AXPY
+        assert get_routine("gemv") is GEMV
+
+    def test_dtype_prefixed_names(self):
+        assert get_routine("dgemm") is GEMM
+        assert get_routine("sgemm") is GEMM
+        assert get_routine("daxpy") is AXPY
+        assert get_routine("DGEMV") is GEMV
+
+    def test_unknown_rejected(self):
+        with pytest.raises(BlasError):
+            get_routine("trsm")

@@ -1,0 +1,47 @@
+"""Shared fixtures: simulated testbeds, deployed models, RNG."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.deploy import DeploymentConfig, deploy
+from repro.sim.machine import custom_machine, testbed_i, testbed_ii
+
+
+@pytest.fixture(scope="session")
+def tb1():
+    return testbed_i()
+
+
+@pytest.fixture(scope="session")
+def tb2():
+    return testbed_ii()
+
+
+@pytest.fixture(scope="session")
+def quiet_machine():
+    """A deterministic machine (no noise) with round numbers."""
+    return custom_machine(noise_sigma=0.0)
+
+
+@pytest.fixture(scope="session")
+def models_tb2(tb2):
+    """Quick-scale deployed model database for Testbed II."""
+    return deploy(tb2, DeploymentConfig.quick())
+
+
+@pytest.fixture(scope="session")
+def models_tb1(tb1):
+    """Quick-scale deployed model database for Testbed I."""
+    return deploy(tb1, DeploymentConfig.quick())
+
+
+@pytest.fixture(scope="session")
+def models_quiet(quiet_machine):
+    return deploy(quiet_machine, DeploymentConfig.quick())
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(12345)

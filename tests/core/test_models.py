@@ -1,0 +1,295 @@
+"""Tests for the five prediction models (Eqs. 1-5 + CSO).
+
+Uses a synthetic machine-model database with round numbers so expected
+values can be computed by hand.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.exec_model import ExecLookup
+from repro.core.instantiation import MachineModels
+from repro.core.models import (
+    bidirectional_overlap_time,
+    predict_baseline,
+    predict_bts,
+    predict_cso,
+    predict_dataloc,
+    predict_dr,
+    reuse_transfer_subkernels,
+    tile_times,
+)
+from repro.core.params import Loc, axpy_problem, gemm_problem
+from repro.core.transfer_model import LinkModel, TransferFit
+from repro.errors import ModelError
+
+# Round-number machine: h2d 1 GB/s, d2h 0.5 GB/s, latencies 1e-5.
+H2D = TransferFit(latency=1e-5, sec_per_byte=1e-9, sl=1.2)
+D2H = TransferFit(latency=1e-5, sec_per_byte=2e-9, sl=1.5)
+
+T_GPU_512 = 4e-3
+T_GPU_256 = 1e-3
+
+
+@pytest.fixture()
+def models():
+    mm = MachineModels(machine_name="synthetic", link=LinkModel(H2D, D2H))
+    gemm_lk = ExecLookup("gemm", "d", {256: T_GPU_256, 512: T_GPU_512})
+    axpy_lk = ExecLookup("axpy", "d", {1 << 18: 1e-4, 1 << 20: 4e-4})
+    mm.add_exec_lookup(gemm_lk)
+    mm.add_exec_lookup(axpy_lk)
+    return mm
+
+
+TILE_BYTES_512 = 512 * 512 * 8
+T_H2D_512 = 1e-5 + TILE_BYTES_512 * 1e-9
+T_D2H_512 = 1e-5 + TILE_BYTES_512 * 2e-9
+
+
+class TestTileTimes:
+    def test_square_divisible_tile_times(self, models):
+        p = gemm_problem(1024, 1024, 1024)
+        tt = tile_times(p, 512, models)
+        assert tt.t_gpu == pytest.approx(T_GPU_512)
+        assert tt.t_in == pytest.approx(3 * T_H2D_512)
+        assert tt.t_out == pytest.approx(T_D2H_512)
+        assert tt.t_h2d_all == pytest.approx(T_H2D_512)
+
+    def test_edge_aware_scales_down_partial_tiles(self, models):
+        # 768 dims with T=512: two tiles per dim, fill = 0.75.
+        p = gemm_problem(768, 768, 768)
+        tt = tile_times(p, 512, models, edge_aware=True)
+        assert tt.t_gpu == pytest.approx(T_GPU_512 * 0.75**3)
+
+    def test_literal_mode_rejects_oversized_tile(self, models):
+        p = gemm_problem(256, 256, 1024)
+        with pytest.raises(ModelError):
+            tile_times(p, 512, models, edge_aware=False)
+
+    def test_edge_aware_clamps_oversized_tile(self, models):
+        p = gemm_problem(256, 256, 1024)
+        tt = tile_times(p, 512, models, edge_aware=True)
+        # Work ratio: (256/512)^2 in M and N, fill 1 in K.
+        assert tt.t_gpu == pytest.approx(T_GPU_512 * 0.25)
+
+    def test_non_positive_tile_rejected(self, models):
+        with pytest.raises(ModelError):
+            tile_times(gemm_problem(512, 512, 512), 0, models)
+
+
+class TestBaselineModel:
+    def test_hand_computed_value(self, models):
+        """Eq. 1 on dgemm 1024^3, T = 512, full offload."""
+        p = gemm_problem(1024, 1024, 1024)
+        k = 8
+        t_in = 3 * T_H2D_512
+        t_out = 3 * T_D2H_512
+        expected = max(T_GPU_512, t_in, t_out) * (k - 1) \
+            + t_in + T_GPU_512 + t_out
+        assert predict_baseline(p, 512, models) == pytest.approx(expected)
+
+    def test_ignores_data_location(self, models):
+        p_full = gemm_problem(1024, 1024, 1024)
+        p_dev = gemm_problem(1024, 1024, 1024, loc_a=Loc.DEVICE,
+                             loc_b=Loc.DEVICE, loc_c=Loc.DEVICE)
+        assert predict_baseline(p_full, 512, models) == pytest.approx(
+            predict_baseline(p_dev, 512, models))
+
+
+class TestDataLocModel:
+    def test_full_offload_hand_computed(self, models):
+        p = gemm_problem(1024, 1024, 1024)
+        k = 8
+        t_in = 3 * T_H2D_512
+        t_out = 1 * T_D2H_512  # only C is written back
+        expected = max(T_GPU_512, t_in, t_out) * (k - 1) \
+            + t_in + T_GPU_512 + t_out
+        assert predict_dataloc(p, 512, models) == pytest.approx(expected)
+
+    def test_device_resident_operands_reduce_time(self, models):
+        p_full = gemm_problem(1024, 1024, 1024)
+        p_b_dev = gemm_problem(1024, 1024, 1024, loc_b=Loc.DEVICE)
+        assert predict_dataloc(p_b_dev, 512, models) < \
+            predict_dataloc(p_full, 512, models)
+
+    def test_never_exceeds_baseline(self, models):
+        for locs in [(Loc.HOST,) * 3, (Loc.DEVICE, Loc.HOST, Loc.HOST),
+                     (Loc.HOST, Loc.DEVICE, Loc.DEVICE)]:
+            p = gemm_problem(1024, 1024, 1024, loc_a=locs[0],
+                             loc_b=locs[1], loc_c=locs[2])
+            assert predict_dataloc(p, 512, models) <= \
+                predict_baseline(p, 512, models) + 1e-12
+
+
+class TestOverlapTime:
+    def test_equal_transfers_fully_overlap(self):
+        link = LinkModel(H2D, D2H)
+        # t_in_bid = 1.2, t_out_bid = 1.5 for t_in = t_out = 1.
+        t = bidirectional_overlap_time(1.0, 1.0, link)
+        # out_bid >= in_bid: t = in_bid + (out_bid - in_bid)/sl_d2h
+        assert t == pytest.approx(1.2 + (1.5 - 1.2) / 1.5)
+
+    def test_zero_output_degenerates_to_input(self):
+        link = LinkModel(H2D, D2H)
+        assert bidirectional_overlap_time(2.0, 0.0, link) == pytest.approx(2.0)
+
+    def test_zero_input_degenerates_to_output(self):
+        link = LinkModel(H2D, D2H)
+        assert bidirectional_overlap_time(0.0, 3.0, link) == pytest.approx(3.0)
+
+    def test_no_slowdown_gives_max(self):
+        unit = LinkModel(
+            TransferFit(latency=0.0, sec_per_byte=1e-9, sl=1.0),
+            TransferFit(latency=0.0, sec_per_byte=1e-9, sl=1.0),
+        )
+        assert bidirectional_overlap_time(2.0, 3.0, unit) == pytest.approx(3.0)
+        assert bidirectional_overlap_time(5.0, 3.0, unit) == pytest.approx(5.0)
+
+    def test_at_least_max_of_inputs(self):
+        link = LinkModel(H2D, D2H)
+        for t_in, t_out in [(1.0, 0.5), (0.5, 1.0), (2.0, 2.0)]:
+            assert bidirectional_overlap_time(t_in, t_out, link) >= \
+                max(t_in, t_out) - 1e-12
+
+
+class TestBtsModel:
+    def test_hand_computed_value(self, models):
+        p = gemm_problem(1024, 1024, 1024)
+        k = 8
+        t_in = 3 * T_H2D_512
+        t_out = 1 * T_D2H_512
+        t_in_bid = 1.2 * t_in
+        t_out_bid = 1.5 * t_out
+        if t_in_bid >= t_out_bid:
+            t_over = t_out_bid + (t_in_bid - t_out_bid) / 1.2
+        else:
+            t_over = t_in_bid + (t_out_bid - t_in_bid) / 1.5
+        expected = max(T_GPU_512, t_over) * (k - 1) + t_in + T_GPU_512 + t_out
+        assert predict_bts(p, 512, models) == pytest.approx(expected)
+
+    def test_at_least_dataloc(self, models):
+        for dims in [(1024, 1024, 1024), (512, 1024, 2048)]:
+            p = gemm_problem(*dims)
+            assert predict_bts(p, 512, models) >= \
+                predict_dataloc(p, 512, models) - 1e-12
+
+    def test_axpy_level1(self, models):
+        p = axpy_problem(1 << 22)
+        t = predict_bts(p, 1 << 20, models)
+        assert t > 0
+        # Transfer-bound: roughly total bytes over bandwidth.
+        total_in = 2 * (1 << 22) * 8 * 1e-9
+        assert t > total_in
+
+
+class TestDrModel:
+    def test_paper_literal_form(self, models):
+        """With edge_aware=False, bid_aware=False and divisible dims the
+        refactored DR equals the paper's Eq. 5 exactly."""
+        p = gemm_problem(1024, 1024, 1024)
+        t = 512
+        k = 8
+        tiles_each = 4
+        k_in = min(3 * (tiles_each - 1), k)  # = 8 (clamped from 9)
+        t_in = 3 * T_H2D_512
+        t_out = T_D2H_512
+        # Per-operand steady totals: 3 ops x 3 extra tiles x t_h2d.
+        t_in_steady = 9 * T_H2D_512
+        expected = max(t_in_steady, k_in * T_GPU_512) \
+            + T_GPU_512 * (k - k_in) + t_in + t_out
+        got = predict_dr(p, t, models, edge_aware=False, bid_aware=False)
+        assert got == pytest.approx(expected)
+
+    def test_k_in_counts(self, models):
+        p = gemm_problem(1024, 2048, 512)
+        # tiles: A 2x1=2, B 1x4=4, C 2x4=8 -> k_in = 1 + 3 + 7 = 11
+        assert reuse_transfer_subkernels(p, 512) == 11
+
+    def test_k_in_skips_device_resident(self, models):
+        p = gemm_problem(1024, 2048, 512, loc_b=Loc.DEVICE)
+        assert reuse_transfer_subkernels(p, 512) == 1 + 7
+
+    def test_reuse_beats_no_reuse(self, models):
+        """DR <= dataloc: fetching tiles once cannot be slower than
+        fetching them for every subkernel."""
+        for dims in [(1024, 1024, 1024), (2048, 2048, 512)]:
+            p = gemm_problem(*dims)
+            assert predict_dr(p, 512, models) <= \
+                predict_dataloc(p, 512, models) + 1e-12
+
+    def test_compute_bound_equals_kernel_total(self, models):
+        """When kernels dominate, DR collapses to k * t_GPU + fill/drain."""
+        fast_link = LinkModel(
+            TransferFit(latency=1e-7, sec_per_byte=1e-12, sl=1.0),
+            TransferFit(latency=1e-7, sec_per_byte=1e-12, sl=1.0),
+        )
+        mm = MachineModels("fast", fast_link)
+        mm.add_exec_lookup(ExecLookup("gemm", "d", {512: T_GPU_512}))
+        p = gemm_problem(2048, 2048, 2048)
+        k = 64
+        got = predict_dr(p, 512, mm)
+        assert got == pytest.approx(k * T_GPU_512, rel=1e-3)
+
+    def test_bid_aware_increases_transfer_bound_prediction(self, models):
+        p = gemm_problem(2048, 2048, 2048)
+        with_bid = predict_dr(p, 512, models, bid_aware=True)
+        without = predict_dr(p, 512, models, bid_aware=False)
+        assert with_bid >= without
+
+    def test_all_device_resident_is_pure_compute(self, models):
+        p = gemm_problem(1024, 1024, 1024, loc_a=Loc.DEVICE,
+                         loc_b=Loc.DEVICE, loc_c=Loc.DEVICE)
+        assert predict_dr(p, 512, models) == pytest.approx(8 * T_GPU_512)
+
+
+class TestCsoModel:
+    def test_linearized_kernel_underestimates(self, models):
+        """The CSO linear-scaling assumption predicts T=256 chunks at
+        (256/512)^3 of the 512 time — cheaper than the benchmarked
+        truth (the paper's first critique)."""
+        p = gemm_problem(1024, 1024, 1024, loc_a=Loc.DEVICE,
+                         loc_b=Loc.DEVICE, loc_c=Loc.DEVICE)
+        k = 64
+        got = predict_cso(p, 256, models)
+        linear = T_GPU_512 * (256 / 512) ** 3
+        assert got == pytest.approx(k * linear)
+        assert k * linear < k * T_GPU_256  # underestimates the truth
+
+    def test_hand_computed_full_offload(self, models):
+        p = gemm_problem(1024, 1024, 1024)
+        k = 8
+        t_h2d_c = 3 * T_H2D_512
+        t_d2h_c = 1 * T_D2H_512
+        t_gpu_c = T_GPU_512
+        expected = max(k * t_gpu_c, k * t_h2d_c, k * t_d2h_c) \
+            + t_h2d_c + t_d2h_c
+        assert predict_cso(p, 512, models) == pytest.approx(expected)
+
+    def test_no_reuse_awareness(self, models):
+        """CSO charges transfers per subkernel, so it exceeds DR on
+        reuse-friendly problems."""
+        p = gemm_problem(2048, 2048, 2048)
+        assert predict_cso(p, 512, models) > predict_dr(p, 512, models)
+
+    def test_oversized_tile_clamped(self, models):
+        p = gemm_problem(256, 256, 1024)
+        assert predict_cso(p, 512, models) == pytest.approx(
+            predict_cso(p, 256, models))
+
+
+class TestModelMonotonicity:
+    @pytest.mark.parametrize("predictor", [
+        predict_baseline, predict_dataloc, predict_bts, predict_dr,
+        predict_cso,
+    ])
+    def test_bigger_problem_takes_longer(self, models, predictor):
+        small = gemm_problem(1024, 1024, 1024)
+        big = gemm_problem(2048, 2048, 2048)
+        assert predictor(big, 512, models) > predictor(small, 512, models)
+
+    @pytest.mark.parametrize("predictor", [
+        predict_baseline, predict_dataloc, predict_bts, predict_dr,
+    ])
+    def test_predictions_positive(self, models, predictor):
+        p = gemm_problem(512, 512, 512)
+        assert predictor(p, 256, models) > 0

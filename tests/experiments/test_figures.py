@@ -1,0 +1,222 @@
+"""Smoke + shape tests for every table/figure reproduction at tiny scale.
+
+These check that each experiment runs end-to-end and that the
+*qualitative* paper claims hold (who wins, which model is tighter) —
+the quantitative record lives in EXPERIMENTS.md.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    fig1_tiling_effect,
+    fig2_pipeline,
+    fig4_bts_validation,
+    fig5_dr_validation,
+    fig6_tile_selection,
+    fig7_performance,
+    harness,
+    table2_transfer_models,
+    table4_improvement,
+)
+from repro.sim.machine import get_testbed
+
+TINY = "tiny"
+
+
+@pytest.fixture(scope="module")
+def one_testbed():
+    return [get_testbed("testbed_ii")]
+
+
+class TestFig1:
+    @pytest.fixture(scope="class")
+    def result(self, one_testbed):
+        return fig1_tiling_effect.run(scale=TINY, machines=one_testbed)
+
+    def test_series_present(self, result):
+        assert len(result.series) == 1
+        s = result.series[0]
+        assert len(s.tiles) == len(s.gflops)
+        assert s.t_opt in s.tiles
+
+    def test_optimum_is_max(self, result):
+        s = result.series[0]
+        assert s.gflops_opt == max(s.gflops)
+
+    def test_render(self, result):
+        out = fig1_tiling_effect.render(result)
+        assert "Fig. 1" in out and "T_opt" in out
+
+
+class TestTable2:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return table2_transfer_models.run(scale=TINY)
+
+    def test_rows_per_direction(self, result):
+        assert len(result.rows) == 4  # 2 testbeds x 2 directions
+
+    def test_fits_near_truth(self, result):
+        for row in result.rows:
+            assert row.bandwidth_gb == pytest.approx(
+                row.truth_bandwidth_gb, rel=0.05)
+            assert row.sl == pytest.approx(row.truth_sl, rel=0.08)
+
+    def test_render(self, result):
+        assert "Table II" in table2_transfer_models.render(result)
+
+
+class TestFig2:
+    def test_runs_and_renders(self):
+        result = fig2_pipeline.run(scale=TINY)
+        assert result.seconds > 0
+        assert result.exec_busy > 0
+        out = fig2_pipeline.render(result)
+        assert "Fig. 2" in out
+        assert "h2d" in result.timeline
+
+    def test_overlap_exists(self):
+        result = fig2_pipeline.run(scale=TINY)
+        assert result.h2d_exec_overlap > 0
+
+
+class TestFig4:
+    @pytest.fixture(scope="class")
+    def result(self, one_testbed):
+        return fig4_bts_validation.run(scale=TINY, machines=one_testbed,
+                                       tiles_per_problem=2)
+
+    def test_all_routines_covered(self, result):
+        routines = {r for (_, r, _) in result.samples}
+        assert routines == {"daxpy", "dgemm", "sgemm"}
+
+    def test_bts_tighter_than_cso_on_daxpy(self, result):
+        key = ("testbed_ii", "daxpy")
+        bts = np.abs(result.samples[key + ("bts",)])
+        cso = np.abs(result.samples[key + ("cso",)])
+        assert np.median(bts) <= np.median(cso)
+
+    def test_render(self, result):
+        assert "Fig. 4" in fig4_bts_validation.render(result)
+
+
+class TestFig5:
+    @pytest.fixture(scope="class")
+    def result(self, one_testbed):
+        return fig5_dr_validation.run(scale=TINY, machines=one_testbed,
+                                      tiles_per_problem=2)
+
+    def test_dr_much_tighter_than_cso(self, result):
+        """The headline Fig. 5 claim."""
+        for routine in ("dgemm", "sgemm"):
+            dr = np.abs(result.samples[("testbed_ii", routine, "dr")])
+            cso = np.abs(result.samples[("testbed_ii", routine, "cso")])
+            assert np.median(dr) < np.median(cso)
+
+    def test_render(self, result):
+        assert "Fig. 5" in fig5_dr_validation.render(result)
+
+
+class TestFig6:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig6_tile_selection.run(scale=TINY, dtypes=(np.float64,))
+
+    def test_rows_have_all_selectors(self, result):
+        for rows in result.rows_by_routine.values():
+            for row in rows:
+                assert set(row.by_model) == set(fig6_tile_selection.SELECTORS)
+
+    def test_opt_at_least_static(self, result):
+        for rows in result.rows_by_routine.values():
+            for row in rows:
+                assert row.gflops_opt >= row.gflops_static - 1e-9
+
+    def test_dr_selection_near_optimal(self, result):
+        """DR-selected tiles achieve most of T_opt performance."""
+        gap = result.gap_to_optimal("dgemm")
+        assert gap["dr"] >= 0.85
+
+    def test_render(self, result):
+        out = fig6_tile_selection.render(result)
+        assert "Fig. 6" in out and "median speedup" in out
+
+
+class TestFig7:
+    @pytest.fixture(scope="class")
+    def result(self, one_testbed):
+        return fig7_performance.run(scale=TINY, machines=one_testbed,
+                                    dtypes=(np.float64,))
+
+    def test_all_scenarios_present(self, result):
+        scenarios = {s for (_, _, s) in result.points}
+        assert scenarios == set(fig7_performance.SCENARIOS)
+
+    def test_three_libraries_per_point(self, result):
+        for pts in result.points.values():
+            for p in pts:
+                assert set(p.gflops) == {"CoCoPeLia", "cuBLASXt", "BLASX"}
+
+    def test_cocopelia_never_far_behind(self, result):
+        """CoCoPeLia is within a few percent of the best library on
+        every problem (paper: it outperforms both overall)."""
+        for pts in result.points.values():
+            for p in pts:
+                best = max(p.gflops.values())
+                assert p.gflops["CoCoPeLia"] >= 0.9 * best
+
+    def test_render(self, result):
+        assert "Fig. 7" in fig7_performance.render(result)
+
+
+class TestTable4:
+    @pytest.fixture(scope="class")
+    def result(self, one_testbed):
+        return table4_improvement.run(scale=TINY, machines=one_testbed,
+                                      dtypes=(np.float64,))
+
+    def test_cells_cover_routines(self, result):
+        routines = {c.routine for c in result.cells}
+        assert routines == {"dgemm", "daxpy"}
+
+    def test_no_large_regression(self, result):
+        for c in result.cells:
+            assert c.improvement_pct > -10.0
+
+    def test_daxpy_beats_unified_memory(self, result):
+        cell = result.get("testbed_ii", "daxpy", "full")
+        assert cell.improvement_pct > 0
+
+    def test_render(self, result):
+        assert "Table IV" in table4_improvement.render(result)
+
+
+class TestHarness:
+    def test_models_cached_per_machine_scale(self, one_testbed):
+        m = one_testbed[0]
+        a = harness.models_for(m, "tiny")
+        b = harness.models_for(m, "tiny")
+        assert a is b
+
+    def test_run_problem_dispatch(self, one_testbed, models_tb2):
+        from repro.core import axpy_problem, gemm_problem
+        from repro.runtime import CoCoPeLiaLibrary
+
+        lib = CoCoPeLiaLibrary(one_testbed[0], models_tb2)
+        rg = harness.run_problem(lib, gemm_problem(1024, 1024, 1024),
+                                 tile_size=512)
+        assert rg.routine == "dgemm"
+        ra = harness.run_problem(lib, axpy_problem(1 << 20),
+                                 tile_size=1 << 18)
+        assert ra.routine == "daxpy"
+
+    def test_best_point(self, one_testbed, models_tb2):
+        from repro.core import gemm_problem
+        from repro.runtime import CoCoPeLiaLibrary
+
+        lib = CoCoPeLiaLibrary(one_testbed[0], models_tb2)
+        points = harness.measure_tile_sweep(
+            lib, gemm_problem(1024, 1024, 1024), [256, 512])
+        best = harness.best_point(points)
+        assert best.result.seconds == min(p.result.seconds for p in points)

@@ -1,0 +1,160 @@
+"""Tests for workload generation, metrics, and reporting."""
+
+import numpy as np
+import pytest
+
+from repro.core.params import Loc
+from repro.errors import ReproError
+from repro.experiments import metrics, report, workloads
+
+
+class TestLocationCombos:
+    def test_excludes_all_device(self):
+        combos = workloads.location_combos(3)
+        assert len(combos) == 7
+        assert (Loc.DEVICE,) * 3 not in combos
+
+    def test_two_operands(self):
+        combos = workloads.location_combos(2)
+        assert len(combos) == 3
+
+    def test_full_offload_helper(self):
+        assert workloads.full_offload(3) == (Loc.HOST,) * 3
+
+
+class TestValidationSets:
+    def test_daxpy_set_size(self):
+        probs = workloads.daxpy_validation_set("quick")
+        assert len(probs) == 4 * 3
+        assert all(p.routine.name == "axpy" for p in probs)
+
+    def test_gemm_location_set_size(self):
+        probs = workloads.gemm_location_validation_set("quick")
+        assert len(probs) == 4 * 7
+
+    def test_gemm_shape_set_full_offload_only(self):
+        probs = workloads.gemm_shape_validation_set("quick")
+        assert all(workloads.is_full_offload(p) for p in probs)
+        # fat-by-thin and thin-by-fat per (edge, ratio)
+        assert len(probs) == 1 * 2 * 2
+
+    def test_paper_scale_sizes(self):
+        probs = workloads.gemm_location_validation_set("paper")
+        dims = {p.dims[0] for p in probs}
+        assert dims == {4096, 8192, 12288, 16384}
+
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(ReproError):
+            workloads.daxpy_validation_set("huge")
+
+    def test_shape_dims_fat(self):
+        m, n, k = workloads.shape_dims(4096, 3, fat_by_thin=True)
+        assert m == n
+        assert m > 4 * k
+        # Volume approximately preserved (rounding to 128s).
+        assert m * n * k == pytest.approx(4096 ** 3, rel=0.5)
+
+    def test_shape_dims_thin(self):
+        m, n, k = workloads.shape_dims(4096, 3, fat_by_thin=False)
+        assert m == n
+        assert k > 4 * m
+
+    def test_eval_sets_nonempty(self):
+        assert workloads.gemm_evaluation_set("tiny")
+        assert workloads.daxpy_evaluation_set("tiny")
+
+    def test_is_full_offload(self):
+        from repro.core.params import gemm_problem
+
+        assert workloads.is_full_offload(gemm_problem(64, 64, 64))
+        assert not workloads.is_full_offload(
+            gemm_problem(64, 64, 64, loc_a=Loc.DEVICE))
+
+
+class TestTileSweeps:
+    def test_sweep_respects_constraint(self):
+        from repro.core.params import gemm_problem
+
+        p = gemm_problem(4096, 4096, 4096)
+        sweep = workloads.tile_sweep(p, "quick")
+        assert all(t <= 4096 / 1.5 for t in sweep)
+        assert sweep == sorted(sweep)
+
+    def test_sweep_fallback_for_tiny_problems(self):
+        from repro.core.params import gemm_problem
+
+        p = gemm_problem(300, 300, 300)
+        sweep = workloads.tile_sweep(p, "quick")
+        assert len(sweep) >= 1
+
+    def test_fig1_sweep_reaches_problem_size(self):
+        sweep = workloads.fig1_tile_sweep(4096, "quick")
+        assert max(sweep) == 4096
+        assert min(sweep) == 512
+
+
+class TestMetrics:
+    def test_percent_error_sign_convention(self):
+        assert metrics.percent_error(1.2, 1.0) == pytest.approx(20.0)
+        assert metrics.percent_error(0.8, 1.0) == pytest.approx(-20.0)
+
+    def test_percent_error_invalid_measured(self):
+        with pytest.raises(ReproError):
+            metrics.percent_error(1.0, 0.0)
+
+    def test_error_distribution_summary(self):
+        dist = metrics.ErrorDistribution.from_samples(
+            "x", [-10.0, -5.0, 0.0, 5.0, 10.0])
+        assert dist.median == 0.0
+        assert dist.mean == 0.0
+        assert dist.min == -10.0 and dist.max == 10.0
+        assert dist.q1 == -5.0 and dist.q3 == 5.0
+        assert dist.n == 5
+
+    def test_empty_distribution_rejected(self):
+        with pytest.raises(ReproError):
+            metrics.ErrorDistribution.from_samples("x", [])
+
+    def test_geomean(self):
+        assert metrics.geomean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_geomean_rejects_non_positive(self):
+        with pytest.raises(ReproError):
+            metrics.geomean([1.0, 0.0])
+
+    def test_improvement_pct(self):
+        assert metrics.geomean_improvement_pct([1.1, 1.1]) == pytest.approx(
+            10.0, rel=1e-6)
+
+    def test_speedup(self):
+        assert metrics.speedup(2.0, 1.0) == 2.0
+        with pytest.raises(ReproError):
+            metrics.speedup(0.0, 1.0)
+
+
+class TestReport:
+    def test_format_table_aligned(self):
+        out = report.format_table(["a", "bb"], [[1, 2.5], [3, 4.0]])
+        lines = out.split("\n")
+        assert len(lines) == 4
+        assert len(set(len(l) for l in lines)) == 1
+
+    def test_format_table_with_title(self):
+        out = report.format_table(["x"], [[1]], title="T")
+        assert out.startswith("T\n")
+
+    def test_ascii_series_dimensions(self):
+        out = report.ascii_series([1, 2, 3], [1.0, 4.0, 2.0], width=30,
+                                  height=6)
+        assert "*" in out
+
+    def test_ascii_series_validates(self):
+        with pytest.raises(ValueError):
+            report.ascii_series([1], [1, 2])
+        with pytest.raises(ValueError):
+            report.ascii_series([], [])
+
+    def test_section_and_bullets(self):
+        assert "- a" in report.bullet_list(["a", "b"])
+        sec = report.section("Title", "body")
+        assert "=====" in sec

@@ -1,0 +1,195 @@
+"""End-to-end integration tests: the paper's headline claims.
+
+Everything here exercises the full stack: deployment micro-benchmarks
+-> fitted models -> tile selection -> pipelined execution on the
+simulated testbeds.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    BlasXLibrary,
+    CublasXtLibrary,
+    SerialOffloadLibrary,
+    UnifiedMemoryLibrary,
+)
+from repro.blas import assert_allclose_blas, ref_gemm
+from repro.core import Loc, gemm_problem, axpy_problem
+from repro.core.registry import predict
+from repro.core.select import candidate_tiles, select_tile
+from repro.runtime import CoCoPeLiaLibrary
+
+
+class TestPredictionAccuracy:
+    """DR predictions track the reuse library within tight error."""
+
+    @pytest.mark.parametrize("dims", [
+        (2048, 2048, 2048), (4096, 4096, 4096), (2048, 4096, 1024),
+    ])
+    def test_dr_error_within_20pct(self, tb2, models_tb2, dims):
+        lib = CoCoPeLiaLibrary(tb2, models_tb2)
+        problem = gemm_problem(*dims)
+        for t in candidate_tiles(problem, models_tb2)[1:]:
+            res = lib.gemm(*dims, tile_size=t)
+            predicted = predict("dr", problem, t, models_tb2)
+            err = abs(predicted - res.seconds) / res.seconds
+            assert err < 0.25, f"T={t}: err {err:.1%}"
+
+    def test_bts_tracks_axpy_tightly(self, tb2, models_tb2):
+        lib = CoCoPeLiaLibrary(tb2, models_tb2)
+        n = 32 << 20
+        problem = axpy_problem(n)
+        for t in candidate_tiles(problem, models_tb2)[:4]:
+            res = lib.axpy(n, tile_size=t)
+            predicted = predict("bts", problem, t, models_tb2)
+            err = abs(predicted - res.seconds) / res.seconds
+            assert err < 0.10, f"T={t}: err {err:.1%}"
+
+    def test_dr_beats_cso_on_reuse_library(self, tb2, models_tb2):
+        lib = CoCoPeLiaLibrary(tb2, models_tb2)
+        dims = (3072, 3072, 3072)
+        problem = gemm_problem(*dims)
+        errs = {"dr": [], "cso": []}
+        for t in candidate_tiles(problem, models_tb2):
+            measured = lib.gemm(*dims, tile_size=t).seconds
+            for model in errs:
+                p = predict(model, problem, t, models_tb2)
+                errs[model].append(abs(p - measured) / measured)
+        assert np.median(errs["dr"]) < np.median(errs["cso"])
+
+
+class TestTileSelectionQuality:
+    def test_selected_tile_near_optimal(self, tb2, models_tb2):
+        """The paper's Fig. 6 claim: model-selected T achieves within a
+        few percent of the exhaustive-search optimum."""
+        lib = CoCoPeLiaLibrary(tb2, models_tb2)
+        for dims in [(2048, 2048, 2048), (4096, 4096, 4096),
+                     (4096, 4096, 1024)]:
+            problem = gemm_problem(*dims)
+            sweep = {
+                t: lib.gemm(*dims, tile_size=t).seconds
+                for t in candidate_tiles(problem, models_tb2)
+            }
+            t_best_measured = min(sweep, key=sweep.get)
+            choice = select_tile(problem, models_tb2)
+            achieved = sweep[choice.t_best]
+            assert achieved <= 1.10 * sweep[t_best_measured], (
+                f"{dims}: picked T={choice.t_best} "
+                f"({achieved * 1e3:.1f} ms) vs opt T={t_best_measured} "
+                f"({sweep[t_best_measured] * 1e3:.1f} ms)"
+            )
+
+    def test_selection_beats_serial_always(self, tb2, models_tb2):
+        cc = CoCoPeLiaLibrary(tb2, models_tb2)
+        serial = SerialOffloadLibrary(tb2)
+        for dims in [(2048, 2048, 2048), (4096, 4096, 2048)]:
+            assert cc.gemm(*dims).seconds < serial.gemm(*dims).seconds
+
+
+class TestLibraryComparison:
+    """Fig. 7 / Table IV claims at test scale."""
+
+    def test_cocopelia_at_least_blasx(self, tb2, models_tb2):
+        cc = CoCoPeLiaLibrary(tb2, models_tb2)
+        bx = BlasXLibrary(tb2)
+        for dims in [(2048, 2048, 2048), (3072, 3072, 3072),
+                     (4096, 4096, 512)]:
+            t_cc = cc.gemm(*dims).seconds
+            t_bx = bx.gemm(*dims).seconds
+            assert t_cc <= 1.05 * t_bx, f"{dims}"
+
+    def test_cocopelia_beats_cublasxt_on_full_offload(self, tb2, models_tb2):
+        cc = CoCoPeLiaLibrary(tb2, models_tb2)
+        xt = CublasXtLibrary(tb2)
+        dims = (4096, 4096, 4096)
+        t_cc = cc.gemm(*dims).seconds
+        t_xt = min(xt.gemm(*dims, tile_size=t).seconds
+                   for t in (1024, 2048, 3072))
+        assert t_cc < t_xt
+
+    def test_blasx_beats_cublasxt_on_fat_by_thin(self, tb1, models_tb1):
+        """Paper: 'BLASX outperforms cuBLASXt in fat-by-thin matrices'."""
+        bx = BlasXLibrary(tb1)
+        xt = CublasXtLibrary(tb1)
+        m, n, k = 4096, 4096, 512
+        t_bx = bx.gemm(m, n, k).seconds
+        t_xt = min(xt.gemm(m, n, k, tile_size=t).seconds
+                   for t in (512, 1024, 2048))
+        assert t_bx < t_xt
+
+    def test_daxpy_beats_unified_memory(self, tb2, models_tb2):
+        cc = CoCoPeLiaLibrary(tb2, models_tb2)
+        um = UnifiedMemoryLibrary(tb2)
+        n = 64 << 20
+        assert cc.axpy(n).seconds < um.axpy(n).seconds
+
+    def test_partial_offload_faster_than_full(self, tb2, models_tb2):
+        cc = CoCoPeLiaLibrary(tb2, models_tb2)
+        dims = (3072, 3072, 3072)
+        t_full = cc.gemm(*dims).seconds
+        t_partial = cc.gemm(*dims, loc_a=Loc.DEVICE, loc_b=Loc.DEVICE).seconds
+        assert t_partial < t_full
+
+
+class TestCrossLibraryNumerics:
+    def test_all_libraries_agree(self, tb2, models_tb2, rng):
+        a = rng.standard_normal((160, 230))
+        b = rng.standard_normal((230, 190))
+        c = rng.standard_normal((160, 190))
+        expected = ref_gemm(a, b, c, 1.3, -0.4)
+        libraries = {
+            "cc": CoCoPeLiaLibrary(tb2, models_tb2),
+            "xt": CublasXtLibrary(tb2),
+            "bx": BlasXLibrary(tb2, tile_size=64),
+            "serial": SerialOffloadLibrary(tb2),
+        }
+        for name, lib in libraries.items():
+            cw = c.copy()
+            kwargs = dict(a=a, b=b, c=cw, alpha=1.3, beta=-0.4)
+            if name in ("cc", "xt"):
+                kwargs["tile_size"] = 96
+            lib.gemm(**kwargs)
+            assert_allclose_blas(cw, expected, reduction_depth=230,
+                                 context=name)
+
+
+class TestDeterminism:
+    def test_same_seed_same_timing(self, tb2, models_tb2):
+        lib1 = CoCoPeLiaLibrary(tb2, models_tb2, seed=99)
+        lib2 = CoCoPeLiaLibrary(tb2, models_tb2, seed=99)
+        r1 = lib1.gemm(2048, 2048, 2048, tile_size=512)
+        r2 = lib2.gemm(2048, 2048, 2048, tile_size=512)
+        assert r1.seconds == r2.seconds
+
+    def test_different_seeds_differ_but_slightly(self, tb2, models_tb2):
+        lib1 = CoCoPeLiaLibrary(tb2, models_tb2, seed=1)
+        lib2 = CoCoPeLiaLibrary(tb2, models_tb2, seed=2)
+        r1 = lib1.gemm(2048, 2048, 2048, tile_size=512)
+        r2 = lib2.gemm(2048, 2048, 2048, tile_size=512)
+        assert r1.seconds != r2.seconds
+        assert abs(r1.seconds - r2.seconds) / r1.seconds < 0.05
+
+
+class TestTestbedContrast:
+    def test_testbed_ii_faster_absolute(self, tb1, tb2, models_tb1,
+                                        models_tb2):
+        dims = (3072, 3072, 3072)
+        t1 = CoCoPeLiaLibrary(tb1, models_tb1).gemm(*dims).seconds
+        t2 = CoCoPeLiaLibrary(tb2, models_tb2).gemm(*dims).seconds
+        assert t2 < t1
+
+    def test_full_offload_penalty_larger_on_testbed_ii(
+            self, tb1, tb2, models_tb1, models_tb2):
+        """Paper Section V-E: Testbed II has the *lower* bandwidth/FLOP
+        ratio, so transfers are a bigger relative bottleneck there."""
+        dims = (3072, 3072, 3072)
+        ratios = {}
+        for name, tb, models in [("tb1", tb1, models_tb1),
+                                 ("tb2", tb2, models_tb2)]:
+            lib = CoCoPeLiaLibrary(tb, models)
+            t_full = lib.gemm(*dims).seconds
+            t_resident = lib.gemm(*dims, loc_a=Loc.DEVICE, loc_b=Loc.DEVICE,
+                                  loc_c=Loc.DEVICE).seconds
+            ratios[name] = t_full / t_resident
+        assert ratios["tb2"] > ratios["tb1"]

@@ -1,0 +1,115 @@
+"""Tests for host-assisted execution."""
+
+import numpy as np
+import pytest
+
+from repro.blas import assert_allclose_blas, ref_gemm
+from repro.core import Loc, gemm_problem
+from repro.errors import BlasError
+from repro.runtime import CoCoPeLiaLibrary
+from repro.runtime.hybrid import (
+    HybridCoCoPeLia,
+    HybridSplit,
+    host_gemm_time,
+    select_split,
+)
+
+
+class TestHostTimeModel:
+    def test_zero_columns_zero_time(self, tb2):
+        assert host_gemm_time(tb2, 1000, 0, 1000, np.float64) == 0.0
+
+    def test_linear_in_columns(self, tb2):
+        t1 = host_gemm_time(tb2, 1000, 100, 1000, np.float64)
+        t2 = host_gemm_time(tb2, 1000, 200, 1000, np.float64)
+        assert t2 == pytest.approx(2 * t1)
+
+    def test_float32_twice_as_fast(self, tb2):
+        t64 = host_gemm_time(tb2, 512, 512, 512, np.float64)
+        t32 = host_gemm_time(tb2, 512, 512, 512, np.float32)
+        assert t64 == pytest.approx(2 * t32)
+
+
+class TestSplitSelection:
+    def test_split_partitions_columns(self, tb2, models_tb2):
+        p = gemm_problem(8192, 8192, 8192)
+        split = select_split(p, tb2, models_tb2)
+        assert split.n_host + split.n_gpu == 8192
+        assert split.n_host % 128 == 0
+        assert 0 <= split.host_fraction < 0.6
+
+    def test_nonzero_host_share_on_transfer_bound(self, tb2, models_tb2):
+        """Full offload on the V100 testbed is transfer-bound enough
+        that some host assistance always pays."""
+        p = gemm_problem(8192, 8192, 8192)
+        split = select_split(p, tb2, models_tb2)
+        assert split.n_host > 0
+
+    def test_predicted_is_makespan(self, tb2, models_tb2):
+        p = gemm_problem(4096, 4096, 4096)
+        split = select_split(p, tb2, models_tb2)
+        assert split.predicted == max(split.predicted_host,
+                                      split.predicted_gpu)
+
+    def test_split_balances_sides(self, tb2, models_tb2):
+        """The selected split never leaves the host grossly idle while
+        the GPU dominates more than the next candidate step."""
+        p = gemm_problem(8192, 8192, 8192)
+        split = select_split(p, tb2, models_tb2)
+        assert split.predicted_host <= split.predicted_gpu * 1.5
+
+
+class TestHybridExecution:
+    def test_numerics(self, tb2, models_tb2, rng):
+        a = rng.standard_normal((300, 200))
+        b = rng.standard_normal((200, 400))
+        c = rng.standard_normal((300, 400))
+        expected = ref_gemm(a, b, c, 0.7, 1.4)
+        hy = HybridCoCoPeLia(tb2, models_tb2)
+        hy.gemm(a=a, b=b, c=c, alpha=0.7, beta=1.4,
+                split=HybridSplit(128, 272, 64, 0.0, 0.0))
+        assert_allclose_blas(c, expected, reduction_depth=200)
+
+    def test_auto_split_numerics(self, tb2, models_tb2, rng):
+        a = rng.standard_normal((256, 256))
+        b = rng.standard_normal((256, 512))
+        c = rng.standard_normal((256, 512))
+        expected = ref_gemm(a, b, c)
+        HybridCoCoPeLia(tb2, models_tb2).gemm(a=a, b=b, c=c)
+        assert_allclose_blas(c, expected, reduction_depth=256)
+
+    def test_hybrid_beats_pure_gpu_on_full_offload(self, tb2, models_tb2):
+        dims = (8192, 8192, 8192)
+        pure = CoCoPeLiaLibrary(tb2, models_tb2).gemm(*dims)
+        hybrid = HybridCoCoPeLia(tb2, models_tb2).gemm(*dims)
+        assert hybrid.seconds < pure.seconds
+        assert hybrid.extra["n_host"] > 0
+
+    def test_device_resident_falls_back_to_pure_gpu(self, tb2, models_tb2):
+        hy = HybridCoCoPeLia(tb2, models_tb2)
+        res = hy.gemm(2048, 2048, 2048, loc_a=Loc.DEVICE)
+        assert res.extra["n_host"] == 0
+
+    def test_host_split_with_device_operands_rejected(self, tb2,
+                                                      models_tb2):
+        hy = HybridCoCoPeLia(tb2, models_tb2)
+        with pytest.raises(BlasError, match="host-resident"):
+            hy.gemm(2048, 2048, 2048, loc_b=Loc.DEVICE,
+                    split=HybridSplit(256, 1792, 512, 0.0, 0.0))
+
+    def test_host_block_reduces_gpu_traffic(self, tb2, models_tb2):
+        dims = (4096, 4096, 4096)
+        pure = CoCoPeLiaLibrary(tb2, models_tb2).gemm(*dims)
+        hybrid = HybridCoCoPeLia(tb2, models_tb2).gemm(
+            *dims, split=HybridSplit(1024, 3072, 1024, 0.0, 0.0))
+        assert hybrid.h2d_bytes < pure.h2d_bytes
+
+    def test_requires_models_for_auto_split(self, tb2):
+        with pytest.raises(BlasError, match="models"):
+            HybridCoCoPeLia(tb2, models=None).gemm(1024, 1024, 1024)
+
+    def test_prediction_tracks_measurement(self, tb2, models_tb2):
+        dims = (8192, 8192, 8192)
+        res = HybridCoCoPeLia(tb2, models_tb2).gemm(*dims)
+        assert res.predicted_seconds is not None
+        assert abs(res.prediction_error) < 0.25

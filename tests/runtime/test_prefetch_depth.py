@@ -1,0 +1,57 @@
+"""Tests for bounded prefetch lookahead in the gemm scheduler."""
+
+import numpy as np
+import pytest
+
+from repro.blas import assert_allclose_blas, ref_gemm
+from repro.errors import SchedulerError
+from repro.runtime import CoCoPeLiaLibrary
+
+
+@pytest.fixture(scope="module")
+def lib(tb2, models_tb2):
+    return CoCoPeLiaLibrary(tb2, models_tb2)
+
+
+class TestPrefetchDepth:
+    @pytest.mark.parametrize("depth", [1, 2, 8])
+    def test_numerics_unchanged(self, lib, rng, depth):
+        a = rng.standard_normal((256, 192))
+        b = rng.standard_normal((192, 320))
+        c = rng.standard_normal((256, 320))
+        expected = ref_gemm(a, b, c)
+        lib.gemm(a=a, b=b, c=c, tile_size=64, prefetch_depth=depth)
+        assert_allclose_blas(c, expected, reduction_depth=192)
+
+    def test_depth_one_is_slowest(self, lib):
+        dims = (3072, 3072, 3072)
+        unbounded = lib.gemm(*dims, tile_size=512).seconds
+        d1 = lib.gemm(*dims, tile_size=512, prefetch_depth=1).seconds
+        assert d1 > unbounded
+
+    def test_converges_to_unbounded(self, lib):
+        """A generous depth performs like unbounded lookahead."""
+        dims = (3072, 3072, 3072)
+        unbounded = lib.gemm(*dims, tile_size=512).seconds
+        deep = lib.gemm(*dims, tile_size=512, prefetch_depth=64).seconds
+        assert deep == pytest.approx(unbounded, rel=0.08)
+
+    def test_monotone_in_depth(self, lib):
+        dims = (3072, 3072, 3072)
+        times = [
+            lib.gemm(*dims, tile_size=512, prefetch_depth=d).seconds
+            for d in (1, 2, 4, 16)
+        ]
+        assert times[0] >= times[1] >= times[3] * 0.98
+
+    def test_traffic_unchanged(self, lib):
+        """Bounded lookahead delays transfers but never adds any."""
+        dims = (2048, 2048, 2048)
+        unbounded = lib.gemm(*dims, tile_size=512)
+        bounded = lib.gemm(*dims, tile_size=512, prefetch_depth=2)
+        assert bounded.h2d_bytes == unbounded.h2d_bytes
+        assert bounded.h2d_transfers == unbounded.h2d_transfers
+
+    def test_invalid_depth_rejected(self, lib):
+        with pytest.raises(SchedulerError):
+            lib.gemm(512, 512, 512, tile_size=256, prefetch_depth=0)

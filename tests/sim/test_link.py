@@ -1,0 +1,216 @@
+"""Unit tests for the duplex link: latency/bandwidth, FIFO, contention."""
+
+import pytest
+
+from repro.errors import InvalidTransferError
+from repro.sim.engine import Simulator
+from repro.sim.link import Direction, DuplexLink, LinkDirectionConfig
+from repro.sim.trace import TraceRecorder
+
+LAT = 1e-5
+BW = 1e9  # 1 GB/s => 1 byte/ns
+SL = 1.5
+
+
+def make_link(sim, sl_h2d=SL, sl_d2h=SL, latency=LAT, trace=None):
+    return DuplexLink(
+        sim,
+        LinkDirectionConfig(latency, BW, sl_h2d),
+        LinkDirectionConfig(latency, BW, sl_d2h),
+        trace=trace,
+    )
+
+
+def run_transfers(specs, **link_kwargs):
+    """specs: list of (direction, nbytes, submit_delay). Returns dict of
+    completion times keyed by index, plus (sim, link)."""
+    sim = Simulator()
+    link = make_link(sim, **link_kwargs)
+    done = {}
+    for idx, (direction, nbytes, delay) in enumerate(specs):
+        def submit(i=idx, d=direction, n=nbytes):
+            link.submit(d, n, on_complete=lambda: done.setdefault(i, sim.now))
+        sim.schedule(delay, submit)
+    sim.run()
+    return done, sim, link
+
+
+def test_unidirectional_time_exact():
+    done, _, _ = run_transfers([(Direction.H2D, 10_000_000, 0.0)])
+    assert done[0] == pytest.approx(LAT + 10_000_000 / BW)
+
+
+def test_d2h_unidirectional_time_exact():
+    done, _, _ = run_transfers([(Direction.D2H, 5_000_000, 0.0)])
+    assert done[0] == pytest.approx(LAT + 5_000_000 / BW)
+
+
+def test_zero_byte_transfer_costs_latency_only():
+    done, _, _ = run_transfers([(Direction.H2D, 0, 0.0)])
+    assert done[0] == pytest.approx(LAT)
+
+
+def test_negative_size_rejected():
+    sim = Simulator()
+    link = make_link(sim)
+    with pytest.raises(InvalidTransferError):
+        link.submit(Direction.H2D, -1)
+
+
+def test_same_direction_fifo_serializes():
+    done, _, _ = run_transfers([
+        (Direction.H2D, 1_000_000, 0.0),
+        (Direction.H2D, 2_000_000, 0.0),
+    ])
+    assert done[0] == pytest.approx(LAT + 0.001)
+    assert done[1] == pytest.approx(2 * LAT + 0.003)
+
+
+def test_full_bidirectional_overlap_slows_both():
+    n = 10_000_000
+    done, _, _ = run_transfers([
+        (Direction.H2D, n, 0.0),
+        (Direction.D2H, n, 0.0),
+    ])
+    # Both flow phases fully overlap: each runs at BW/SL throughout.
+    expected = LAT + SL * n / BW
+    assert done[0] == pytest.approx(expected, rel=1e-9)
+    assert done[1] == pytest.approx(expected, rel=1e-9)
+
+
+def test_asymmetric_slowdowns():
+    n = 10_000_000
+    done, _, _ = run_transfers(
+        [(Direction.H2D, n, 0.0), (Direction.D2H, n, 0.0)],
+        sl_h2d=1.2, sl_d2h=1.5,
+    )
+    # d2h is slower, so it finishes last; h2d finishes first while both
+    # are contended (h2d never sees an uncontended phase).
+    assert done[0] == pytest.approx(LAT + 1.2 * n / BW, rel=1e-9)
+    # d2h: contended until h2d completes, then uncontended.
+    t_h2d_flow_end = 1.2 * n / BW
+    done_bytes = t_h2d_flow_end / (1.5 / BW)
+    remaining = n - done_bytes
+    expected_d2h = LAT + t_h2d_flow_end + remaining / BW
+    assert done[1] == pytest.approx(expected_d2h, rel=1e-9)
+
+
+def test_partial_overlap_replanning():
+    """An opposite transfer arriving mid-flight slows the remainder."""
+    n = 10_000_000
+    half_time = LAT + 0.5 * n / BW
+    done, _, _ = run_transfers([
+        (Direction.H2D, n, 0.0),
+        (Direction.D2H, 100_000_000, half_time),
+    ])
+    # The d2h flow starts after its own latency phase; until then the
+    # h2d transfer proceeds uncontended, then slows by SL.
+    contention_start = half_time + LAT
+    bytes_done = (contention_start - LAT) * BW
+    expected = contention_start + (n - bytes_done) * SL / BW
+    assert done[0] == pytest.approx(expected, rel=1e-6)
+
+
+def test_no_contention_during_latency_phase():
+    """A transfer in its latency phase does not slow the opposite flow."""
+    n = 1_000_000
+    # The d2h transfer is zero bytes: it only has a latency phase.
+    done, _, _ = run_transfers([
+        (Direction.H2D, n, 0.0),
+        (Direction.D2H, 0, 0.0),
+    ])
+    assert done[0] == pytest.approx(LAT + n / BW, rel=1e-9)
+
+
+def test_queue_depth_tracking():
+    sim = Simulator()
+    link = make_link(sim)
+    assert link.queue_depth(Direction.H2D) == 0
+    link.submit(Direction.H2D, 1000)
+    link.submit(Direction.H2D, 1000)
+    assert link.queue_depth(Direction.H2D) == 2
+    sim.run()
+    assert link.queue_depth(Direction.H2D) == 0
+
+
+def test_stats_accumulate():
+    done, _, link = run_transfers([
+        (Direction.H2D, 1_000_000, 0.0),
+        (Direction.H2D, 2_000_000, 0.0),
+    ])
+    stats = link.stats(Direction.H2D)
+    assert stats.transfers == 2
+    assert stats.bytes_moved == 3_000_000
+    assert stats.busy_time == pytest.approx(2 * LAT + 0.003)
+
+
+def test_overlap_time_accounting():
+    n = 10_000_000
+    _, _, link = run_transfers([
+        (Direction.H2D, n, 0.0),
+        (Direction.D2H, n, 0.0),
+    ])
+    h2d = link.stats(Direction.H2D)
+    # Entire flow phase was contended.
+    assert h2d.bid_overlap_time == pytest.approx(SL * n / BW, rel=1e-9)
+    assert h2d.flow_time == pytest.approx(SL * n / BW, rel=1e-9)
+
+
+def test_no_overlap_time_when_serial():
+    _, _, link = run_transfers([
+        (Direction.H2D, 1_000_000, 0.0),
+        (Direction.D2H, 1_000_000, 1.0),
+    ])
+    assert link.stats(Direction.H2D).bid_overlap_time == 0.0
+    assert link.stats(Direction.D2H).bid_overlap_time == 0.0
+
+
+def test_trace_records_transfers():
+    sim = Simulator()
+    trace = TraceRecorder()
+    link = make_link(sim, trace=trace)
+    link.submit(Direction.H2D, 1_000_000, tag="tile-A")
+    sim.run()
+    assert len(trace.events) == 1
+    ev = trace.events[0]
+    assert ev.engine == "h2d"
+    assert ev.tag == "tile-A"
+    assert ev.nbytes == 1_000_000
+    assert ev.duration == pytest.approx(LAT + 0.001)
+
+
+def test_slowdown_below_one_rejected():
+    with pytest.raises(InvalidTransferError):
+        LinkDirectionConfig(LAT, BW, 0.9)
+
+
+def test_non_positive_bandwidth_rejected():
+    with pytest.raises(InvalidTransferError):
+        LinkDirectionConfig(LAT, 0.0)
+
+
+def test_negative_latency_rejected():
+    with pytest.raises(InvalidTransferError):
+        LinkDirectionConfig(-1e-6, BW)
+
+
+def test_many_alternating_transfers_conserve_bytes():
+    specs = []
+    total = 0
+    for i in range(20):
+        n = 100_000 * (i + 1)
+        total += n
+        specs.append((Direction.H2D if i % 2 == 0 else Direction.D2H, n, 0.0))
+    _, _, link = run_transfers(specs)
+    moved = (link.stats(Direction.H2D).bytes_moved
+             + link.stats(Direction.D2H).bytes_moved)
+    assert moved == total
+
+
+def test_completion_order_matches_fifo_within_direction():
+    done, _, _ = run_transfers([
+        (Direction.H2D, 5_000_000, 0.0),
+        (Direction.H2D, 1_000, 0.0),
+    ])
+    # Despite being tiny, the second transfer waits for the first.
+    assert done[1] > done[0]

@@ -1,0 +1,66 @@
+"""Tests for host/device buffer abstractions."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.memory import DeviceBuffer, HostArray
+
+
+class TestHostArray:
+    def test_wrap_carries_data(self, rng):
+        data = rng.standard_normal((4, 5))
+        host = HostArray.wrap(data, name="A")
+        assert host.has_data
+        assert host.shape == (4, 5)
+        assert host.nbytes == 4 * 5 * 8
+        assert host.array is data
+        assert host.pinned
+
+    def test_shadow_has_no_data(self):
+        host = HostArray.shadow((10, 20), np.float32)
+        assert not host.has_data
+        assert host.nbytes == 10 * 20 * 4
+
+    def test_shape_mismatch_rejected(self, rng):
+        with pytest.raises(SimulationError):
+            HostArray((3, 3), np.float64, array=rng.standard_normal((2, 2)))
+
+    def test_unpinned_flag(self, rng):
+        host = HostArray.wrap(rng.standard_normal(5), pinned=False)
+        assert not host.pinned
+
+    def test_vector_shape(self):
+        host = HostArray.shadow((100,), np.float64)
+        assert host.nbytes == 800
+
+    def test_auto_names_unique(self):
+        a = HostArray.shadow((1,), np.float64)
+        b = HostArray.shadow((1,), np.float64)
+        assert a.name != b.name
+
+
+class TestDeviceBuffer:
+    def test_metadata_only(self):
+        buf = DeviceBuffer(1024)
+        assert buf.nbytes == 1024
+        assert not buf.has_data
+        assert not buf.freed
+
+    def test_with_array(self):
+        arr = np.zeros((8, 8))
+        buf = DeviceBuffer(arr.nbytes, shape=(8, 8), dtype=np.float64,
+                           array=arr)
+        assert buf.has_data
+        assert buf.shape == (8, 8)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(SimulationError):
+            DeviceBuffer(-1)
+
+    def test_check_alive(self):
+        buf = DeviceBuffer(10)
+        buf.check_alive()
+        buf.freed = True
+        with pytest.raises(SimulationError, match="use-after-free"):
+            buf.check_alive()

@@ -1,0 +1,144 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+@pytest.fixture()
+def db_dir(tmp_path):
+    return str(tmp_path / "db")
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+class TestMachines:
+    def test_lists_both_testbeds(self, capsys):
+        code, out, _ = run_cli(capsys, "machines")
+        assert code == 0
+        assert "testbed_i" in out and "testbed_ii" in out
+        assert "12.18" in out  # V100 h2d bandwidth from Table II
+
+
+class TestDeploy:
+    def test_deploy_and_cache(self, capsys, db_dir):
+        code, out, _ = run_cli(capsys, "deploy", "--machine", "testbed_ii",
+                               "--scale", "tiny", "--db-dir", db_dir)
+        assert code == 0
+        assert "1/t_b" in out
+        assert "dgemm" in out and "dgemv" in out and "daxpy" in out
+        # Second call loads the cache (still succeeds, same content).
+        code2, out2, _ = run_cli(capsys, "deploy", "--machine", "testbed_ii",
+                                 "--scale", "tiny", "--db-dir", db_dir)
+        assert code2 == 0
+        assert out2 == out
+
+
+class TestRun:
+    @pytest.mark.parametrize("argv", [
+        ("run", "gemm", "2048", "2048", "2048"),
+        ("run", "gemm", "2048", "2048", "2048", "--library", "blasx"),
+        ("run", "gemm", "2048", "2048", "2048", "--library", "cublasxt",
+         "--tile", "1024"),
+        ("run", "gemm", "2048", "2048", "2048", "--library", "serial"),
+        ("run", "gemv", "4096", "4096"),
+        ("run", "axpy", "8388608"),
+        ("run", "axpy", "8388608", "--library", "unified"),
+    ])
+    def test_run_variants(self, capsys, db_dir, argv):
+        code, out, _ = run_cli(capsys, *argv, "--scale", "tiny",
+                               "--db-dir", db_dir)
+        assert code == 0
+        assert "GFLOP/s" in out
+        assert "traffic" in out
+
+    def test_run_with_locations(self, capsys, db_dir):
+        code, out, _ = run_cli(
+            capsys, "run", "gemm", "2048", "2048", "2048",
+            "--loc-a", "device", "--loc-c", "device",
+            "--scale", "tiny", "--db-dir", db_dir,
+        )
+        assert code == 0
+        assert "A@D" in out and "C@D" in out
+
+    def test_wrong_arity_errors(self, capsys, db_dir):
+        code, _, err = run_cli(capsys, "run", "gemm", "128", "128",
+                               "--scale", "tiny", "--db-dir", db_dir)
+        assert code == 2
+        assert "M N K" in err
+
+    def test_unified_rejects_gemm(self, capsys, db_dir):
+        code, _, err = run_cli(capsys, "run", "gemm", "512", "512", "512",
+                               "--library", "unified",
+                               "--scale", "tiny", "--db-dir", db_dir)
+        assert code == 2
+        assert "axpy" in err
+
+
+class TestSelect:
+    def test_shows_table_and_selection(self, capsys, db_dir):
+        code, out, _ = run_cli(capsys, "select", "gemm", "4096", "4096",
+                               "4096", "--scale", "tiny", "--db-dir", db_dir)
+        assert code == 0
+        assert "<-- selected" in out
+        assert "predicted ms" in out
+
+    def test_model_override(self, capsys, db_dir):
+        code, out, _ = run_cli(capsys, "select", "gemm", "4096", "4096",
+                               "4096", "--model", "cso",
+                               "--scale", "tiny", "--db-dir", db_dir)
+        assert code == 0
+        assert "cso model" in out
+
+
+class TestExperiment:
+    def test_table2_runs(self, capsys):
+        code, out, _ = run_cli(capsys, "experiment", "table2",
+                               "--scale", "tiny")
+        assert code == 0
+        assert "Table II" in out
+
+    def test_fig2_runs(self, capsys):
+        code, out, _ = run_cli(capsys, "experiment", "fig2",
+                               "--scale", "tiny")
+        assert code == 0
+        assert "Fig. 2" in out
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_bad_location_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["run", "gemm", "1", "1", "1", "--loc-a", "moon"])
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "fig99"])
+
+
+class TestSyrkCli:
+    def test_run_syrk(self, capsys, db_dir):
+        code, out, _ = run_cli(capsys, "run", "syrk", "2048", "1024",
+                               "--scale", "tiny", "--db-dir", db_dir)
+        assert code == 0
+        assert "dsyrk" in out and "GFLOP/s" in out
+
+    def test_select_syrk(self, capsys, db_dir):
+        code, out, _ = run_cli(capsys, "select", "syrk", "4096", "4096",
+                               "--scale", "tiny", "--db-dir", db_dir)
+        assert code == 0
+        assert "<-- selected" in out
+
+    def test_syrk_wrong_arity(self, capsys, db_dir):
+        code, _, err = run_cli(capsys, "run", "syrk", "2048",
+                               "--scale", "tiny", "--db-dir", db_dir)
+        assert code == 2
+        assert "N K" in err

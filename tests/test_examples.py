@@ -1,0 +1,54 @@
+"""Smoke tests for the runnable examples.
+
+Every example must import cleanly and expose ``main``; the fast ones
+are executed end-to-end (stdout checked for their key claims).
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
+ALL_EXAMPLES = sorted(p.stem for p in EXAMPLES_DIR.glob("*.py"))
+
+
+def load_example(name: str):
+    spec = importlib.util.spec_from_file_location(
+        f"example_{name}", EXAMPLES_DIR / f"{name}.py")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestExampleStructure:
+    def test_at_least_four_examples(self):
+        assert len(ALL_EXAMPLES) >= 4
+        assert "quickstart" in ALL_EXAMPLES
+
+    @pytest.mark.parametrize("name", ALL_EXAMPLES)
+    def test_imports_and_has_main(self, name):
+        module = load_example(name)
+        assert callable(getattr(module, "main", None)), name
+        assert module.__doc__, f"{name} lacks a docstring"
+        assert "Run:" in module.__doc__
+
+
+class TestQuickstartRuns:
+    def test_end_to_end(self, capsys):
+        load_example("quickstart").main()
+        out = capsys.readouterr().out
+        assert "Deploying" in out
+        assert "matches numpy reference" in out
+        assert "selected T=" in out
+        assert "CoCoPeLia" in out and "Serial" in out
+
+
+class TestIterativeSolverRuns:
+    def test_end_to_end(self, capsys):
+        load_example("iterative_solver").main()
+        out = capsys.readouterr().out
+        assert "Tile selection" in out
+        assert "speedup" in out
+        assert "matches numpy" in out
