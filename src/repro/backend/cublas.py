@@ -19,6 +19,7 @@ import numpy as np
 
 from ..errors import BlasError, SimulationError
 from ..sim.device import GpuDevice
+from ..sim.faults import corrupt_array, tile_checksum
 from ..sim.memory import DeviceBuffer, HostArray
 from ..sim.stream import Operation, Stream
 from ..units import dtype_size
@@ -124,6 +125,24 @@ class CublasContext:
         self.device = device
         self._kernels = device.config.kernels
 
+    @staticmethod
+    def _integrity_hooks(src_getter, dst_getter):
+        """Checksum verify / corruption hooks for one transfer.
+
+        Only built in compute mode with fault injection active: the
+        device corrupts the destination via ``corrupt`` and detects it
+        by the ``verify`` checksum mismatch (a re-run of the transfer
+        payload then overwrites the damage with good source data).
+        """
+
+        def verify() -> bool:
+            return tile_checksum(dst_getter()) == tile_checksum(src_getter())
+
+        def corrupt() -> None:
+            corrupt_array(dst_getter())
+
+        return verify, corrupt
+
     # ------------------------------------------------------------------
     # allocation
     # ------------------------------------------------------------------
@@ -153,7 +172,7 @@ class CublasContext:
         _check_pinned(host)
         rows, cols = dst.rows, dst.cols
         self._check_window(host, row0, col0, rows, cols)
-        payload = None
+        payload = verify = corrupt = None
         if host.has_data and dst.array is not None:
             src_view = host.array[row0:row0 + rows, col0:col0 + cols]
 
@@ -161,9 +180,14 @@ class CublasContext:
                 dst.buf.check_alive()
                 dst.array[:, :] = src_view
 
+            if self.device.faults is not None:
+                verify, corrupt = self._integrity_hooks(
+                    lambda: src_view, lambda: dst.array)
+
         return self.device.memcpy_h2d_async(
             rows * cols * dtype_size(dst.dtype), stream,
             tag=tag or f"h2d:{host.name}[{row0},{col0}]", payload=payload,
+            verify=verify, corrupt=corrupt,
         )
 
     def get_matrix_async(
@@ -179,7 +203,7 @@ class CublasContext:
         _check_pinned(host)
         rows, cols = src.rows, src.cols
         self._check_window(host, row0, col0, rows, cols)
-        payload = None
+        payload = verify = corrupt = None
         if host.has_data and src.array is not None:
             dst_view = host.array[row0:row0 + rows, col0:col0 + cols]
             src_mat = src
@@ -188,9 +212,14 @@ class CublasContext:
                 src_mat.buf.check_alive()
                 dst_view[:, :] = src_mat.array
 
+            if self.device.faults is not None:
+                verify, corrupt = self._integrity_hooks(
+                    lambda: src_mat.array, lambda: dst_view)
+
         return self.device.memcpy_d2h_async(
             rows * cols * dtype_size(src.dtype), stream,
             tag=tag or f"d2h:{host.name}[{row0},{col0}]", payload=payload,
+            verify=verify, corrupt=corrupt,
         )
 
     def set_vector_async(
@@ -205,7 +234,7 @@ class CublasContext:
         _check_pinned(host)
         n = dst.n
         self._check_span(host, off, n)
-        payload = None
+        payload = verify = corrupt = None
         if host.has_data and dst.array is not None:
             src_view = host.array[off:off + n]
 
@@ -213,9 +242,14 @@ class CublasContext:
                 dst.buf.check_alive()
                 dst.array[:] = src_view
 
+            if self.device.faults is not None:
+                verify, corrupt = self._integrity_hooks(
+                    lambda: src_view, lambda: dst.array)
+
         return self.device.memcpy_h2d_async(
             n * dtype_size(dst.dtype), stream,
             tag=tag or f"h2d:{host.name}[{off}]", payload=payload,
+            verify=verify, corrupt=corrupt,
         )
 
     def get_vector_async(
@@ -230,7 +264,7 @@ class CublasContext:
         _check_pinned(host)
         n = src.n
         self._check_span(host, off, n)
-        payload = None
+        payload = verify = corrupt = None
         if host.has_data and src.array is not None:
             dst_view = host.array[off:off + n]
             src_vec = src
@@ -239,9 +273,14 @@ class CublasContext:
                 src_vec.buf.check_alive()
                 dst_view[:] = src_vec.array
 
+            if self.device.faults is not None:
+                verify, corrupt = self._integrity_hooks(
+                    lambda: src_vec.array, lambda: dst_view)
+
         return self.device.memcpy_d2h_async(
             n * dtype_size(src.dtype), stream,
             tag=tag or f"d2h:{host.name}[{off}]", payload=payload,
+            verify=verify, corrupt=corrupt,
         )
 
     # ------------------------------------------------------------------

@@ -36,6 +36,7 @@ from .errors import ReproError
 from .experiments.harness import run_problem
 from .experiments.report import format_table
 from .runtime import CoCoPeLiaLibrary
+from .sim.faults import NAMED_PLANS, resolve_plan
 from .sim.machine import get_testbed
 
 EXPERIMENTS = {
@@ -158,7 +159,16 @@ def cmd_deploy(args) -> int:
 
 
 def cmd_run(args) -> int:
+    # Deploy (or load) against the clean machine first so the model
+    # database never absorbs injected faults, then attach the plan.
     machine, models = _models_for(args)
+    plan = resolve_plan(args.faults)
+    if plan is not None:
+        if args.library != "cocopelia":
+            raise ReproError(
+                "--faults requires the resilient library "
+                "(--library cocopelia)")
+        machine = machine.with_faults(plan)
     problem = _build_problem(args)
     lib_cls = LIBRARIES[args.library]
     if lib_cls is CoCoPeLiaLibrary:
@@ -186,6 +196,12 @@ def cmd_run(args) -> int:
           f"d2h {result.d2h_bytes / 1e6:.1f} MB "
           f"({result.d2h_transfers} transfers), "
           f"{result.kernels} kernels")
+    if result.resilience is not None:
+        r = result.resilience
+        print(f"  faults    plan={plan.name!r}: {r.retries} transfer "
+              f"retries, {r.kernel_retries} kernel retries, "
+              f"{r.refetches} refetches, {r.tile_downshifts} tile "
+              f"downshifts, {r.host_fallbacks} host fallbacks")
     return 0
 
 
@@ -254,6 +270,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="explicit tiling size (default: model-selected)")
     p_run.add_argument("--model", default="auto",
                        help="prediction model for selection (default: auto)")
+    p_run.add_argument("--faults", default=None, metavar="PLAN",
+                       help="inject faults: a named plan "
+                            f"({'/'.join(sorted(NAMED_PLANS))}) or "
+                            "'key=value,...' overrides, e.g. "
+                            "'transfer_fail_rate=0.05,seed=7'")
     p_run.add_argument("--loc-a", type=_loc, default=Loc.HOST,
                        help="location of A/x: host|device")
     p_run.add_argument("--loc-b", type=_loc, default=Loc.HOST,

@@ -49,6 +49,19 @@ class TransferBenchConfig:
     #: measured one, so the measured flow is contended end to end.
     opposite_factor: float = 3.0
 
+    def __post_init__(self) -> None:
+        if self.min_reps < 2:
+            raise DeploymentError(
+                f"min_reps must be >= 2, got {self.min_reps}")
+        if self.max_reps < self.min_reps:
+            raise DeploymentError(
+                f"max_reps ({self.max_reps}) must be >= min_reps "
+                f"({self.min_reps})")
+        if not 0.0 < self.rel_half_width < 1.0:
+            raise DeploymentError(
+                f"rel_half_width must be in (0, 1), got "
+                f"{self.rel_half_width}")
+
     @classmethod
     def quick(cls) -> "TransferBenchConfig":
         """A reduced sweep for tests and fast benchmarks."""

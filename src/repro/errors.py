@@ -2,9 +2,18 @@
 
 Every error raised by the library derives from :class:`ReproError`, so
 callers can catch library failures without masking programming errors.
+
+Fault taxonomy (resilience subsystem, see ``repro.sim.faults``): errors
+caused by injected hardware faults split into *transient* ones — a
+retry of the same operation may succeed (link glitches, memory
+pressure) — and *permanent* ones, where the bounded retry budget has
+been spent and the caller must degrade (smaller tiles, host fallback)
+or give up.
 """
 
 from __future__ import annotations
+
+from typing import Optional
 
 
 class ReproError(Exception):
@@ -15,17 +24,62 @@ class SimulationError(ReproError):
     """The discrete-event simulator was driven into an invalid state."""
 
 
-class DeviceMemoryError(SimulationError):
-    """A device allocation exceeded the simulated GPU memory capacity."""
+class FaultError(ReproError):
+    """Base class of the injected-fault taxonomy."""
 
-    def __init__(self, requested: int, free: int, capacity: int) -> None:
+
+class TransientFaultError(FaultError):
+    """A fault a bounded retry of the same operation may survive."""
+
+
+class PermanentFaultError(FaultError):
+    """A fault that retrying the same operation cannot fix."""
+
+
+class RetryExhaustedError(PermanentFaultError):
+    """An operation kept faulting until its retry budget ran out."""
+
+    def __init__(self, tag: str, attempts: int, last_fault: str = "") -> None:
+        self.tag = tag
+        self.attempts = attempts
+        self.last_fault = last_fault
+        msg = f"operation {tag!r} failed after {attempts} attempts"
+        if last_fault:
+            msg += f" (last fault: {last_fault})"
+        super().__init__(msg)
+
+
+class TileCorruptionError(TransientFaultError):
+    """A tile's checksum did not match after a transfer."""
+
+
+class DeviceMemoryError(SimulationError, TransientFaultError):
+    """A device allocation exceeded the simulated GPU memory capacity.
+
+    Transient in the taxonomy: injected memory pressure comes and goes,
+    and the tile selector can downshift to a smaller ``T``.  ``tile``
+    carries the tiling size in force when the allocation failed so the
+    downshift path can log actionable context.
+    """
+
+    def __init__(self, requested: int, free: int, capacity: int,
+                 tile: Optional[int] = None) -> None:
         self.requested = requested
         self.free = free
         self.capacity = capacity
-        super().__init__(
+        self.tile = tile
+        msg = (
             f"device OOM: requested {requested} bytes with {free} free "
             f"(capacity {capacity})"
         )
+        if tile is not None:
+            msg += f" while tiling with T={tile}"
+        super().__init__(msg)
+
+    def with_tile(self, tile: int) -> "DeviceMemoryError":
+        """A copy of this error annotated with the offending tile size."""
+        return DeviceMemoryError(self.requested, self.free, self.capacity,
+                                 tile=tile)
 
 
 class InvalidTransferError(SimulationError):

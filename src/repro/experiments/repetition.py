@@ -16,7 +16,7 @@ from typing import List, Optional
 import numpy as np
 
 from ..deploy.regression import confidence_interval
-from ..errors import ReproError
+from ..errors import DeploymentError, ReproError
 from .harness import run_problem
 
 
@@ -53,6 +53,8 @@ def measure_repeated(
     reps: int = 100,
     warmup_runs: int = 1,
     confidence: float = 0.95,
+    rel_ci_target: Optional[float] = None,
+    max_repetitions: int = 1000,
     **kwargs,
 ) -> RepeatedMeasurement:
     """Run a benchmark the way the paper does: warmup + N timed reps.
@@ -60,9 +62,18 @@ def measure_repeated(
     Each repetition goes through the library's normal call path (fresh
     simulated device, advancing noise stream), so the variance is the
     machine's, not an artifact.
+
+    When ``rel_ci_target`` is set, ``reps`` becomes the *minimum* and
+    measurement continues until the CI half-width falls within that
+    fraction of the mean.  ``max_repetitions`` is a hard cap on that
+    loop: non-convergence raises :class:`DeploymentError` rather than
+    running forever or silently reporting an untrustworthy mean.
     """
     if reps < 2:
         raise ReproError(f"need at least 2 repetitions, got {reps}")
+    if max_repetitions < reps:
+        raise ReproError(
+            f"max_repetitions ({max_repetitions}) must be >= reps ({reps})")
     warmup_time = 0.0
     for _ in range(warmup_runs):
         warmup_time = run_problem(lib, problem, tile_size=tile_size,
@@ -72,11 +83,25 @@ def measure_repeated(
         for _ in range(reps)
     ]
     mean, half = confidence_interval(samples, confidence)
+    if rel_ci_target is not None:
+        while half > rel_ci_target * abs(mean) or mean == 0.0:
+            if len(samples) >= max_repetitions:
+                raise DeploymentError(
+                    f"measurement did not converge to rel CI "
+                    f"{rel_ci_target:.3f} after {max_repetitions} "
+                    f"repetitions (mean {mean:.3e}, CI half-width "
+                    f"{half:.3e})")
+            samples.append(
+                run_problem(lib, problem, tile_size=tile_size,
+                            **kwargs).seconds)
+            mean, half = confidence_interval(samples, confidence)
+            if mean == 0.0 and half == 0.0:
+                break
     return RepeatedMeasurement(
         mean=mean,
         std=float(np.std(samples, ddof=1)),
         ci_half=half,
-        n=reps,
+        n=len(samples),
         warmup=warmup_time,
         samples=samples,
     )

@@ -9,7 +9,10 @@ Problems must fit in device memory; the paper explicitly scopes out
 larger problems ("that would require a considerably more sophisticated
 implementation of overlap with memory constraints"), so exceeding the
 capacity raises :class:`~repro.errors.DeviceMemoryError` instead of
-evicting.
+evicting.  Under injected memory pressure the routine layer catches
+that error and re-runs the schedule with a smaller ``T`` (see the
+degradation ladder in :mod:`repro.runtime.routines`); the cache itself
+never evicts.
 """
 
 from __future__ import annotations
@@ -19,7 +22,7 @@ from typing import Dict, Optional, Set, Tuple
 
 from ..backend.cublas import CublasContext, DeviceMatrix
 from ..errors import SchedulerError
-from ..sim.stream import CudaEvent, Stream
+from ..sim.stream import CudaEvent, Operation, Stream
 
 TileKey = Tuple[str, int, int]
 
@@ -31,6 +34,9 @@ class TileEntry:
     matrix: DeviceMatrix
     #: Completion event of the fetch; None for device-resident tiles.
     ready: Optional[CudaEvent] = None
+    #: The fetch transfer itself; under fault injection its ``attempts``
+    #: counts the retries this tile needed before landing cleanly.
+    fetch_op: Optional[Operation] = None
     dirty: bool = False
     #: Streams that have already synchronized with ``ready`` — later
     #: work on those streams is ordered by the stream itself.
@@ -93,3 +99,15 @@ class TileCache:
 
     def resident_bytes(self) -> int:
         return sum(e.matrix.nbytes for e in self._tiles.values())
+
+    def fetch_attempts(self) -> int:
+        """Total link submissions made for the resident tiles' fetches.
+
+        Equals the number of fetched tiles on a fault-free run; the
+        excess over that is the retry traffic fault injection caused.
+        """
+        return sum(
+            e.fetch_op.attempts
+            for e in self._tiles.values()
+            if e.fetch_op is not None
+        )

@@ -13,6 +13,7 @@ from typing import Dict, Optional
 
 import numpy as np
 
+from ..sim.faults import ResilienceCounters
 from ..units import gflops
 
 
@@ -36,6 +37,10 @@ class RunResult:
     #: Output data for device-resident results (compute mode only);
     #: host-resident outputs are written into the caller's array.
     output: Optional[np.ndarray] = field(default=None, repr=False, compare=False)
+    #: What the resilience machinery did for this call (None when the
+    #: machine has no fault plan attached).
+    resilience: Optional[ResilienceCounters] = field(
+        default=None, repr=False, compare=False)
 
     @property
     def gflops(self) -> float:
@@ -56,4 +61,12 @@ class RunResult:
         )
         if self.predicted_seconds is not None:
             msg += f", predicted {self.predicted_seconds * 1e3:.3f} ms"
+        if self.resilience is not None and self.resilience.any():
+            r = self.resilience
+            msg += (
+                f" [faults survived: {r.retries} transfer retries, "
+                f"{r.kernel_retries} kernel retries, {r.refetches} refetches, "
+                f"{r.tile_downshifts} downshifts, "
+                f"{r.host_fallbacks} host fallbacks]"
+            )
         return msg

@@ -13,11 +13,12 @@ excluding buffer allocation from timings and reusing warm buffers).
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
 from ..backend.cublas import CublasContext
+from ..blas.reference import ref_axpy, ref_gemm, ref_gemv, ref_syrk
 from ..core.instantiation import MachineModels
 from ..core.params import (
     CoCoProblem,
@@ -28,14 +29,33 @@ from ..core.params import (
     prefix_for,
     syrk_problem,
 )
-from ..core.select import TileChoice, select_tile
-from ..errors import BlasError, SchedulerError
+from ..core.select import TileChoice, candidate_tiles, select_tile
+from ..errors import (BlasError, DeviceMemoryError, ModelError,
+                      RetryExhaustedError, SchedulerError)
 from ..sim.device import GpuDevice
+from ..sim.faults import FaultInjector, ResilienceCounters
 from ..sim.machine import MachineConfig
 from ..sim.memory import HostArray
 from .result import RunResult
 from .scheduler import (AxpyTileScheduler, GemmTileScheduler,
-                        GemvTileScheduler, SyrkTileScheduler)
+                        GemvTileScheduler, ScheduleStats, SyrkTileScheduler)
+
+#: Degradation-ladder floor: the runtime never downshifts below this
+#: tiling size; past it the routine falls back to host reference BLAS.
+MIN_TILE = 64
+
+
+class _ResilientOutcome:
+    """What one resilient routine invocation ended up doing."""
+
+    __slots__ = ("stats", "sched", "tile", "resilience", "output")
+
+    def __init__(self, stats, sched, tile, resilience, output=None) -> None:
+        self.stats = stats
+        self.sched = sched          #: None after a host fallback
+        self.tile = tile            #: the tiling size actually used
+        self.resilience = resilience
+        self.output = output        #: fallback-produced device output
 
 
 def _host_operand(problem: CoCoProblem, name: str,
@@ -81,9 +101,107 @@ class CoCoPeLiaLibrary:
 
     # ------------------------------------------------------------------
 
-    def _next_device(self) -> GpuDevice:
+    def _next_device(self, faults: Optional[FaultInjector] = None) -> GpuDevice:
         self._calls += 1
-        return GpuDevice(self.machine, seed=self._seed + self._calls)
+        return GpuDevice(self.machine, seed=self._seed + self._calls,
+                         faults=faults)
+
+    # ------------------------------------------------------------------
+    # resilience: retry -> smaller T -> host fallback (see DESIGN.md)
+    # ------------------------------------------------------------------
+
+    def _smaller_tile(self, problem: CoCoProblem, t):
+        """Largest feasible tiling size below ``t``; None at the floor."""
+        if not isinstance(t, int):
+            smaller = tuple(v // 2 for v in t)
+            return smaller if min(smaller) >= MIN_TILE else None
+        if self.models is not None:
+            try:
+                cands = [c for c in candidate_tiles(problem, self.models)
+                         if MIN_TILE <= c < t]
+                if cands:
+                    return max(cands)
+            except ModelError:
+                pass
+        half = t // 2
+        return half if half >= MIN_TILE else None
+
+    def _host_fallback_seconds(self, problem: CoCoProblem) -> float:
+        """Simulated wall time of running the routine on the host CPU."""
+        rate = self.machine.cpu_gemm_flops
+        if np.dtype(problem.dtype).itemsize == 4:
+            rate *= 2.0  # FP32 runs at twice the sustained FP64 rate
+        return problem.flops() / rate
+
+    def _run_resilient(
+        self,
+        problem: CoCoProblem,
+        tile_size,
+        make_scheduler: Callable[[CublasContext, object], object],
+        outputs: List[np.ndarray],
+        fallback: Optional[Callable[[], Optional[np.ndarray]]] = None,
+    ) -> _ResilientOutcome:
+        """Run one schedule under the degradation ladder.
+
+        With no fault plan this is exactly the pre-resilience fast path
+        (one fresh device, one run).  Under a plan: the device layer
+        already retries transient faults with backoff; this layer
+        catches what escapes it — ``DeviceMemoryError`` re-runs the
+        whole schedule at the largest feasible smaller ``T``, and retry
+        exhaustion (or hitting the tile floor) falls back to host
+        reference BLAS so the caller still gets a correct result.
+
+        ``outputs`` are caller arrays the pipeline mutates in place;
+        they are snapshot once and restored before every re-run (and
+        before the fallback) so partially-applied ``beta``-scaled
+        updates are never applied twice.  One :class:`FaultInjector` is
+        shared across all attempts of this call, so a re-run continues
+        the fault schedule instead of replaying it.
+        """
+        plan = self.machine.fault_plan
+        if plan is None or not plan.any_faults:
+            device = self._next_device()
+            sched = make_scheduler(CublasContext(device), tile_size)
+            return _ResilientOutcome(sched.run(), sched, tile_size, None)
+
+        injector = FaultInjector(plan.with_seed(plan.seed + self._calls))
+        total = ResilienceCounters()
+        snapshots = [np.copy(arr) for arr in outputs]
+
+        def restore() -> None:
+            for arr, snap in zip(outputs, snapshots):
+                arr[...] = snap
+
+        t = tile_size
+        while True:
+            device = self._next_device(faults=injector)
+            try:
+                sched = make_scheduler(CublasContext(device), t)
+                stats = sched.run()
+            except DeviceMemoryError:
+                total.add(device.resilience)
+                smaller = self._smaller_tile(problem, t)
+                if smaller is None:
+                    break  # at the tile floor: fall back to the host
+                total.tile_downshifts += 1
+                t = smaller
+                restore()
+                continue
+            except RetryExhaustedError:
+                total.add(device.resilience)
+                break
+            total.add(device.resilience)
+            return _ResilientOutcome(stats, sched, t, total)
+
+        restore()
+        total.host_fallbacks += 1
+        stats = ScheduleStats(
+            seconds=self._host_fallback_seconds(problem),
+            h2d_bytes=0, d2h_bytes=0, h2d_transfers=0, d2h_transfers=0,
+            kernels=0,
+        )
+        output = fallback() if fallback is not None else None
+        return _ResilientOutcome(stats, None, t, total, output=output)
 
     def _choose_tile(self, problem: CoCoProblem) -> TileChoice:
         if self.models is None:
@@ -192,24 +310,44 @@ class CoCoPeLiaLibrary:
             tile_size = tuple(int(v) for v in tile_size)
         if predicted is None and isinstance(tile_size, int):
             predicted = self.predict(problem, tile_size)
-        device = self._next_device()
-        ctx = CublasContext(device)
         hosts = {
             "A": _host_operand(problem, "A", a),
             "B": _host_operand(problem, "B", b),
             "C": _host_operand(problem, "C", c),
         }
-        sched = GemmTileScheduler(
-            ctx, problem, tile_size, hosts,
-            alpha=alpha, beta=beta, order=order, use_cache=use_cache,
-            prefetch_depth=prefetch_depth,
-        )
-        stats = sched.run()
-        output = None
-        if c is not None and loc_c is Loc.DEVICE:
-            output = sched.read_back_device_result()
-        sched.release()
-        tm, tn, tk = sched.tiles_mnk
+
+        def make_sched(ctx: CublasContext, t) -> GemmTileScheduler:
+            return GemmTileScheduler(
+                ctx, problem, t, hosts,
+                alpha=alpha, beta=beta, order=order, use_cache=use_cache,
+                prefetch_depth=prefetch_depth,
+            )
+
+        outputs = [c] if c is not None and loc_c is Loc.HOST else []
+
+        def fallback() -> Optional[np.ndarray]:
+            if c is None:
+                return None
+            full = ref_gemm(a, b, c, alpha=alpha, beta=beta)
+            if loc_c is Loc.DEVICE:
+                return full
+            c[:, :] = full
+            return None
+
+        outcome = self._run_resilient(problem, tile_size, make_sched,
+                                      outputs, fallback)
+        stats = outcome.stats
+        sched = outcome.sched
+        output = outcome.output
+        if sched is not None:
+            if c is not None and loc_c is Loc.DEVICE:
+                output = sched.read_back_device_result()
+            sched.release()
+            tm, tn, tk = sched.tiles_mnk
+        else:
+            t_used = outcome.tile
+            tm, tn, tk = ((t_used,) * 3 if isinstance(t_used, int)
+                          else t_used)
         return RunResult(
             library=self.LIBRARY_NAME,
             routine=f"{prefix_for(dtype)}gemm",
@@ -225,6 +363,7 @@ class CoCoPeLiaLibrary:
             model=model_name,
             extra={"tile_m": tm, "tile_n": tn, "tile_k": tk},
             output=output,
+            resilience=outcome.resilience,
         )
 
     # ------------------------------------------------------------------
@@ -270,8 +409,6 @@ class CoCoPeLiaLibrary:
         if tile_size is None:
             choice = self._choose_tile(problem)
             tile_size = choice.t_best
-        device = self._next_device()
-        ctx = CublasContext(device)
         hosts = {
             "A": _host_operand(problem, "A", a),
             "C": _host_operand(problem, "C", c),
@@ -283,23 +420,44 @@ class CoCoPeLiaLibrary:
         if c is not None and loc_c is Loc.HOST:
             upper_idx = np.triu_indices(n, k=1)
             upper_backup = c[upper_idx].copy()
-        sched = SyrkTileScheduler(ctx, problem, tile_size, hosts,
-                                  alpha=alpha, beta=beta)
-        stats = sched.run()
-        output = None
-        if c is not None and loc_c is Loc.DEVICE:
-            output = sched.read_back_device_result()
-            upper_idx = np.triu_indices(n, k=1)
-            output[upper_idx] = c[upper_idx]
-        elif upper_backup is not None:
-            c[upper_idx] = upper_backup
-        sched.release()
+
+        def make_sched(ctx: CublasContext, t) -> SyrkTileScheduler:
+            return SyrkTileScheduler(ctx, problem, t, hosts,
+                                     alpha=alpha, beta=beta)
+
+        outputs = [c] if c is not None and loc_c is Loc.HOST else []
+
+        def fallback() -> Optional[np.ndarray]:
+            if c is None:
+                return None
+            full = ref_syrk(a, c, alpha=alpha, beta=beta)
+            lower_idx = np.tril_indices(n)
+            if loc_c is Loc.DEVICE:
+                out = c.copy()
+                out[lower_idx] = full[lower_idx]
+                return out
+            c[lower_idx] = full[lower_idx]
+            return None
+
+        outcome = self._run_resilient(problem, tile_size, make_sched,
+                                      outputs, fallback)
+        stats = outcome.stats
+        sched = outcome.sched
+        output = outcome.output
+        if sched is not None:
+            if c is not None and loc_c is Loc.DEVICE:
+                output = sched.read_back_device_result()
+                upper_idx = np.triu_indices(n, k=1)
+                output[upper_idx] = c[upper_idx]
+            elif upper_backup is not None:
+                c[upper_idx] = upper_backup
+            sched.release()
         return RunResult(
             library=self.LIBRARY_NAME,
             routine=f"{prefix_for(dtype)}syrk",
             seconds=stats.seconds,
             flops=problem.flops(),
-            tile_size=tile_size,
+            tile_size=outcome.tile,
             h2d_bytes=stats.h2d_bytes,
             d2h_bytes=stats.d2h_bytes,
             h2d_transfers=stats.h2d_transfers,
@@ -309,6 +467,7 @@ class CoCoPeLiaLibrary:
                                else self.predict(problem, tile_size)),
             model=self.model,
             output=output,
+            resilience=outcome.resilience,
         )
 
     # ------------------------------------------------------------------
@@ -354,26 +513,42 @@ class CoCoPeLiaLibrary:
         if tile_size is None:
             choice = self._choose_tile(problem)
             tile_size = choice.t_best
-        device = self._next_device()
-        ctx = CublasContext(device)
         hosts = {
             "A": _host_operand(problem, "A", a),
             "x": _host_operand(problem, "x", x),
             "y": _host_operand(problem, "y", y),
         }
-        sched = GemvTileScheduler(ctx, problem, tile_size, hosts,
-                                  alpha=alpha, beta=beta)
-        stats = sched.run()
-        output = None
-        if y is not None and loc_y is Loc.DEVICE:
-            output = sched.read_back_device_result()
-        sched.release()
+
+        def make_sched(ctx: CublasContext, t) -> GemvTileScheduler:
+            return GemvTileScheduler(ctx, problem, t, hosts,
+                                     alpha=alpha, beta=beta)
+
+        outputs = [y] if y is not None and loc_y is Loc.HOST else []
+
+        def fallback() -> Optional[np.ndarray]:
+            if y is None:
+                return None
+            full = ref_gemv(a, x, y, alpha=alpha, beta=beta)
+            if loc_y is Loc.DEVICE:
+                return full
+            y[:] = full
+            return None
+
+        outcome = self._run_resilient(problem, tile_size, make_sched,
+                                      outputs, fallback)
+        stats = outcome.stats
+        sched = outcome.sched
+        output = outcome.output
+        if sched is not None:
+            if y is not None and loc_y is Loc.DEVICE:
+                output = sched.read_back_device_result()
+            sched.release()
         return RunResult(
             library=self.LIBRARY_NAME,
             routine=f"{prefix_for(dtype)}gemv",
             seconds=stats.seconds,
             flops=problem.flops(),
-            tile_size=tile_size,
+            tile_size=outcome.tile,
             h2d_bytes=stats.h2d_bytes,
             d2h_bytes=stats.d2h_bytes,
             h2d_transfers=stats.h2d_transfers,
@@ -383,6 +558,7 @@ class CoCoPeLiaLibrary:
                                else self.predict(problem, tile_size)),
             model=self.model,
             output=output,
+            resilience=outcome.resilience,
         )
 
     # ------------------------------------------------------------------
@@ -417,24 +593,40 @@ class CoCoPeLiaLibrary:
         if tile_size is None:
             choice = self._choose_tile(problem)
             tile_size = choice.t_best
-        device = self._next_device()
-        ctx = CublasContext(device)
         hosts = {
             "x": _host_operand(problem, "x", x),
             "y": _host_operand(problem, "y", y),
         }
-        sched = AxpyTileScheduler(ctx, problem, tile_size, hosts, alpha=alpha)
-        stats = sched.run()
-        output = None
-        if y is not None and loc_y is Loc.DEVICE:
-            output = sched.read_back_device_result()
-        sched.release()
+
+        def make_sched(ctx: CublasContext, t) -> AxpyTileScheduler:
+            return AxpyTileScheduler(ctx, problem, t, hosts, alpha=alpha)
+
+        outputs = [y] if y is not None and loc_y is Loc.HOST else []
+
+        def fallback() -> Optional[np.ndarray]:
+            if y is None:
+                return None
+            full = ref_axpy(x, y, alpha=alpha)
+            if loc_y is Loc.DEVICE:
+                return full
+            y[:] = full
+            return None
+
+        outcome = self._run_resilient(problem, tile_size, make_sched,
+                                      outputs, fallback)
+        stats = outcome.stats
+        sched = outcome.sched
+        output = outcome.output
+        if sched is not None:
+            if y is not None and loc_y is Loc.DEVICE:
+                output = sched.read_back_device_result()
+            sched.release()
         return RunResult(
             library=self.LIBRARY_NAME,
             routine=f"{prefix_for(dtype)}axpy",
             seconds=stats.seconds,
             flops=problem.flops(),
-            tile_size=tile_size,
+            tile_size=outcome.tile,
             h2d_bytes=stats.h2d_bytes,
             d2h_bytes=stats.d2h_bytes,
             h2d_transfers=stats.h2d_transfers,
@@ -444,4 +636,5 @@ class CoCoPeLiaLibrary:
                                else self.predict(problem, tile_size)),
             model=self.model,
             output=output,
+            resilience=outcome.resilience,
         )

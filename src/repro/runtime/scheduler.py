@@ -26,7 +26,8 @@ import numpy as np
 
 from ..backend.cublas import CublasContext, DeviceVector
 from ..core.params import CoCoProblem, Loc, OperandInstance
-from ..errors import SchedulerError
+from ..errors import DeviceMemoryError, SchedulerError
+from ..sim.faults import ResilienceCounters
 from ..sim.link import Direction
 from ..sim.memory import HostArray
 from ..sim.stream import Stream
@@ -38,7 +39,13 @@ TRAVERSAL_ORDERS = ("reuse", "l_outer")
 
 @dataclass
 class ScheduleStats:
-    """What one scheduled run did, as counted by the device."""
+    """What one scheduled run did, as counted by the device.
+
+    The resilience fields are zero on fault-free runs; under fault
+    injection they count what the retry machinery had to do during
+    *this* run (transfer counts above include the failed attempts, as
+    each occupied the link).
+    """
 
     seconds: float
     h2d_bytes: int
@@ -46,6 +53,9 @@ class ScheduleStats:
     h2d_transfers: int
     d2h_transfers: int
     kernels: int
+    retries: int = 0
+    kernel_retries: int = 0
+    refetches: int = 0
 
 
 class _PipelineBase:
@@ -66,14 +76,18 @@ class _PipelineBase:
         self.s_exec = self.device.create_stream("pipe-exec")
         self.s_d2h = self.device.create_stream("pipe-d2h")
 
-    def _snapshot(self) -> Tuple[int, int, int, int, int]:
+    def _snapshot(self) -> Tuple[int, ...]:
         dev = self.device
+        res = dev.resilience
         return (
             dev.bytes_moved(Direction.H2D),
             dev.bytes_moved(Direction.D2H),
             dev.transfer_count(Direction.H2D),
             dev.transfer_count(Direction.D2H),
             dev.compute.kernels_run,
+            res.retries,
+            res.kernel_retries,
+            res.refetches,
         )
 
     def _timed_run(self, issue) -> ScheduleStats:
@@ -89,7 +103,32 @@ class _PipelineBase:
             h2d_transfers=after[2] - before[2],
             d2h_transfers=after[3] - before[3],
             kernels=after[4] - before[4],
+            retries=after[5] - before[5],
+            kernel_retries=after[6] - before[6],
+            refetches=after[7] - before[7],
         )
+
+    def _alloc_matrix(self, rows: int, cols: int, with_data: bool, name: str):
+        """Tile allocation annotated with the tiling size on OOM.
+
+        The device-memory-pressure degradation ladder (routines layer)
+        catches the annotated error and downshifts to a smaller ``T``.
+        """
+        try:
+            return self.ctx.alloc_matrix(
+                rows, cols, self.problem.dtype, with_data=with_data, name=name
+            )
+        except DeviceMemoryError as exc:
+            raise exc.with_tile(getattr(self, "t", 0)) from None
+
+    def _alloc_vector(self, n: int, with_data: bool, name: str):
+        """Chunk allocation annotated with the tiling size on OOM."""
+        try:
+            return self.ctx.alloc_vector(
+                n, self.problem.dtype, with_data=with_data, name=name
+            )
+        except DeviceMemoryError as exc:
+            raise exc.with_tile(getattr(self, "t", 0)) from None
 
 
 class GemmTileScheduler(_PipelineBase):
@@ -168,9 +207,8 @@ class GemmTileScheduler(_PipelineBase):
         op = self._operand[name]
         host = self.hosts[name]
         r0, c0, rows, cols = grid.tile_window(i, j)
-        mat = self.ctx.alloc_matrix(
-            rows, cols, self.problem.dtype,
-            with_data=host.has_data, name=f"{name}({i},{j})",
+        mat = self._alloc_matrix(
+            rows, cols, with_data=host.has_data, name=f"{name}({i},{j})",
         )
         entry = TileEntry(matrix=mat)
         if op.loc is Loc.DEVICE:
@@ -178,7 +216,7 @@ class GemmTileScheduler(_PipelineBase):
             if host.has_data:
                 mat.array[:, :] = host.array[r0:r0 + rows, c0:c0 + cols]
         else:
-            self.ctx.set_matrix_async(
+            entry.fetch_op = self.ctx.set_matrix_async(
                 host, r0, c0, mat, self.s_h2d, tag=f"h2d:{name}({i},{j})"
             )
             entry.ready = self.s_h2d.record_event()
@@ -321,16 +359,15 @@ class SyrkTileScheduler(_PipelineBase):
         op = self._operand[name]
         host = self.hosts[name]
         r0, c0, rows, cols = grid.tile_window(i, j)
-        mat = self.ctx.alloc_matrix(
-            rows, cols, self.problem.dtype,
-            with_data=host.has_data, name=f"{name}({i},{j})",
+        mat = self._alloc_matrix(
+            rows, cols, with_data=host.has_data, name=f"{name}({i},{j})",
         )
         entry = TileEntry(matrix=mat)
         if op.loc is Loc.DEVICE:
             if host.has_data:
                 mat.array[:, :] = host.array[r0:r0 + rows, c0:c0 + cols]
         else:
-            self.ctx.set_matrix_async(
+            entry.fetch_op = self.ctx.set_matrix_async(
                 host, r0, c0, mat, self.s_h2d, tag=f"h2d:{name}({i},{j})"
             )
             entry.ready = self.s_h2d.record_event()
@@ -433,9 +470,8 @@ class GemvTileScheduler(_PipelineBase):
         op = self._operand[name]
         host = self.hosts[name]
         off, length = grid.tile_span(i)
-        vec = self.ctx.alloc_vector(
-            length, self.problem.dtype, with_data=host.has_data,
-            name=f"{name}[{i}]",
+        vec = self._alloc_vector(
+            length, with_data=host.has_data, name=f"{name}[{i}]",
         )
         ev = None
         if op.loc is Loc.DEVICE:
@@ -452,9 +488,8 @@ class GemvTileScheduler(_PipelineBase):
         op = self._operand["A"]
         host = self.hosts["A"]
         r0, c0, rows, cols = self.grid_a.tile_window(i, j)
-        mat = self.ctx.alloc_matrix(
-            rows, cols, self.problem.dtype, with_data=host.has_data,
-            name=f"A({i},{j})",
+        mat = self._alloc_matrix(
+            rows, cols, with_data=host.has_data, name=f"A({i},{j})",
         )
         self._a_tiles.append(mat)
         ev = None
@@ -555,9 +590,8 @@ class AxpyTileScheduler(_PipelineBase):
         op = self._operand[name]
         host = self.hosts[name]
         off, length = self.grid.tile_span(i)
-        vec = self.ctx.alloc_vector(
-            length, self.problem.dtype, with_data=host.has_data,
-            name=f"{name}[{i}]",
+        vec = self._alloc_vector(
+            length, with_data=host.has_data, name=f"{name}[{i}]",
         )
         self._chunks[(name, i)] = vec
         if op.loc is Loc.DEVICE:

@@ -9,6 +9,15 @@ rationale.
 """
 
 from .engine import Simulator
+from .faults import (
+    FaultInjector,
+    FaultPlan,
+    NAMED_PLANS,
+    ResilienceCounters,
+    RetryPolicy,
+    resolve_plan,
+    tile_checksum,
+)
 from .link import DuplexLink, Direction, LinkDirectionConfig
 from .kernels import GemmTimeModel, AxpyTimeModel, KernelModelSet
 from .machine import MachineConfig, testbed_i, testbed_ii, get_testbed, TESTBEDS
@@ -20,6 +29,13 @@ from .trace import TraceRecorder, TraceEvent, render_timeline
 
 __all__ = [
     "Simulator",
+    "FaultInjector",
+    "FaultPlan",
+    "NAMED_PLANS",
+    "ResilienceCounters",
+    "RetryPolicy",
+    "resolve_plan",
+    "tile_checksum",
     "DuplexLink",
     "Direction",
     "LinkDirectionConfig",

@@ -13,7 +13,16 @@ from typing import Callable, Dict, Optional, Tuple
 import numpy as np
 
 from ..errors import DeviceMemoryError, SimulationError, StreamError
+from ..errors import RetryExhaustedError
 from .engine import Simulator
+from .faults import (
+    FaultInjector,
+    FaultPlan,
+    ResilienceCounters,
+    RetryPolicy,
+    as_injector,
+)
+from .kernels import faulted_kernel_time
 from .link import Direction, DuplexLink
 from .machine import MachineConfig
 from .memory import DeviceBuffer
@@ -40,13 +49,27 @@ class GpuDevice:
         sim: Optional[Simulator] = None,
         seed: int = 0,
         trace: bool = False,
+        faults: "FaultPlan | FaultInjector | None" = None,
+        retry: Optional[RetryPolicy] = None,
     ) -> None:
         self.config = config
         self.sim = sim if sim is not None else Simulator()
         self.noise = NoiseModel(seed=seed, sigma=config.noise_sigma)
         self.trace: Optional[TraceRecorder] = TraceRecorder() if trace else None
+        #: Fault injection is default-off: with no plan (argument or
+        #: config.fault_plan) every fault hook below is skipped and the
+        #: event stream is identical to the fault-free simulator's.
+        self.faults: Optional[FaultInjector] = as_injector(
+            faults if faults is not None else config.fault_plan
+        )
+        self.retry_policy = retry if retry is not None else RetryPolicy()
+        self.resilience = ResilienceCounters()
+        #: RetryExhaustedErrors parked by async retry chains; surfaced
+        #: by synchronize() since the failing op has no caller frame.
+        self._fault_failures: list = []
         self.link = DuplexLink(
-            self.sim, config.h2d, config.d2h, noise=self.noise, trace=self.trace
+            self.sim, config.h2d, config.d2h, noise=self.noise,
+            trace=self.trace, faults=self.faults,
         )
         self.compute = ComputeEngine(self.sim, noise=self.noise, trace=self.trace)
         self._used_bytes = 0
@@ -79,9 +102,27 @@ class GpuDevice:
         """Allocate device memory; raises on simulated OOM.
 
         ``with_data=True`` materializes a numpy array (compute mode).
+        Under injected memory pressure the usable capacity shrinks by
+        the plan's static reservation, and individual allocations may
+        transiently fail — those are re-tried in place up to the retry
+        budget (pressure comes and goes) before the OOM propagates.
         """
-        if nbytes > self.mem_free:
-            raise DeviceMemoryError(nbytes, self.mem_free, self.mem_capacity)
+        free = self.mem_free
+        capacity = self.mem_capacity
+        if self.faults is not None:
+            pressure = self.faults.mem_pressure_bytes
+            free -= pressure
+            capacity -= pressure
+            if nbytes <= free and self.faults.alloc_fails():
+                attempts = 1
+                while (attempts < self.retry_policy.max_attempts
+                       and self.faults.alloc_fails()):
+                    attempts += 1
+                self.resilience.retries += attempts
+                if attempts >= self.retry_policy.max_attempts:
+                    raise DeviceMemoryError(nbytes, max(free, 0), capacity)
+        if nbytes > free:
+            raise DeviceMemoryError(nbytes, max(free, 0), capacity)
         array = None
         if with_data:
             if shape is None or dtype is None:
@@ -117,6 +158,11 @@ class GpuDevice:
         Returns the virtual time at which the device became idle.
         """
         self.sim.run()
+        if self._fault_failures:
+            # A retry chain exhausted its budget: its op never
+            # completed, so report the fault rather than the resulting
+            # (expected) stuck streams.
+            raise self._fault_failures[0]
         for stream in self._streams.values():
             if not stream.idle:
                 raise StreamError(
@@ -136,9 +182,12 @@ class GpuDevice:
         stream: Stream,
         tag: str = "",
         payload: Optional[Callable[[], None]] = None,
+        verify: Optional[Callable[[], bool]] = None,
+        corrupt: Optional[Callable[[], None]] = None,
     ) -> Operation:
         """Enqueue a host-to-device copy of ``nbytes`` on ``stream``."""
-        return self._transfer_async(Direction.H2D, nbytes, stream, tag, payload)
+        return self._transfer_async(Direction.H2D, nbytes, stream, tag,
+                                    payload, verify, corrupt)
 
     def memcpy_d2h_async(
         self,
@@ -146,9 +195,12 @@ class GpuDevice:
         stream: Stream,
         tag: str = "",
         payload: Optional[Callable[[], None]] = None,
+        verify: Optional[Callable[[], bool]] = None,
+        corrupt: Optional[Callable[[], None]] = None,
     ) -> Operation:
         """Enqueue a device-to-host copy of ``nbytes`` on ``stream``."""
-        return self._transfer_async(Direction.D2H, nbytes, stream, tag, payload)
+        return self._transfer_async(Direction.D2H, nbytes, stream, tag,
+                                    payload, verify, corrupt)
 
     def _transfer_async(
         self,
@@ -157,19 +209,78 @@ class GpuDevice:
         stream: Stream,
         tag: str,
         payload: Optional[Callable[[], None]],
+        verify: Optional[Callable[[], bool]] = None,
+        corrupt: Optional[Callable[[], None]] = None,
     ) -> Operation:
+        """Enqueue a transfer; with faults active, a resilient one.
+
+        ``verify`` re-checksums the destination after the payload copy
+        (compute mode); ``corrupt`` applies the injected silent
+        corruption to the destination.  Both are only consulted when a
+        fault injector is attached.  The resilient path keeps the op
+        *pending* across failed attempts — dependents wait, stream
+        order is preserved — and re-submits with exponential backoff in
+        simulated time; on budget exhaustion the op never completes and
+        synchronize() raises :class:`RetryExhaustedError`.
+        """
         kind = KIND_H2D if direction is Direction.H2D else KIND_D2H
         op = Operation(kind, nbytes=nbytes, tag=tag, payload=payload)
+        faults = self.faults
 
-        def dispatch() -> None:
+        if faults is None:
+            def dispatch() -> None:
+                self.link.submit(
+                    direction,
+                    nbytes,
+                    on_complete=lambda: _complete_operation(op),
+                    tag=tag,
+                )
+
+            stream.enqueue(op, dispatch)
+            return op
+
+        policy = self.retry_policy
+
+        def attempt() -> None:
+            op.attempts += 1
             self.link.submit(
                 direction,
                 nbytes,
-                on_complete=lambda: _complete_operation(op),
+                on_complete=landed,
+                on_fault=lambda: retry_or_park("transient transfer failure"),
                 tag=tag,
             )
 
-        stream.enqueue(op, dispatch)
+        def landed() -> None:
+            # Bytes arrived: run the data copy, then model silent
+            # corruption.  A re-fetch re-runs the payload, which
+            # overwrites the corrupted destination with good data.
+            if op.payload is not None:
+                op.payload()
+            corrupted = faults.corrupts_transfer()
+            if corrupted and corrupt is not None:
+                corrupt()
+            # Compute mode detects corruption by checksum mismatch;
+            # timing mode (no arrays to checksum) detects it directly.
+            detected = (not verify()) if verify is not None else corrupted
+            if detected:
+                self.resilience.refetches += 1
+                retry_or_park("tile corruption", is_refetch=True)
+                return
+            op.payload = None  # already ran; don't run it again
+            _complete_operation(op)
+
+        def retry_or_park(reason: str, is_refetch: bool = False) -> None:
+            if op.attempts >= policy.max_attempts:
+                self._fault_failures.append(
+                    RetryExhaustedError(tag or kind, op.attempts, reason)
+                )
+                return
+            if not is_refetch:
+                self.resilience.retries += 1
+            self.sim.schedule(policy.backoff(op.attempts), attempt)
+
+        stream.enqueue(op, attempt)
         return op
 
     def launch_async(
@@ -180,12 +291,47 @@ class GpuDevice:
         flops: float = 0.0,
         payload: Optional[Callable[[], None]] = None,
     ) -> Operation:
-        """Enqueue a kernel of the given ground-truth ``duration``."""
+        """Enqueue a kernel of the given ground-truth ``duration``.
+
+        With faults active the launch may abort partway through
+        (occupying the engine for the aborted fraction) and is then
+        re-issued with exponential backoff, up to the retry budget.
+        """
         if duration < 0:
             raise SimulationError(f"negative kernel duration: {duration}")
         op = Operation(KIND_EXEC, duration=duration, flops=flops, tag=tag,
                        payload=payload)
-        stream.enqueue(op, lambda: self.compute.submit(op))
+        faults = self.faults
+
+        if faults is None:
+            stream.enqueue(op, lambda: self.compute.submit(op))
+            return op
+
+        policy = self.retry_policy
+
+        def attempt() -> None:
+            op.attempts += 1
+            if faults.kernel_faults():
+                op.fault = True
+                op.duration = faulted_kernel_time(duration)
+                op.on_fault = aborted
+            else:
+                op.fault = False
+                op.duration = duration
+                op.on_fault = None
+            self.compute.submit(op)
+
+        def aborted() -> None:
+            if op.attempts >= policy.max_attempts:
+                self._fault_failures.append(
+                    RetryExhaustedError(tag or KIND_EXEC, op.attempts,
+                                        "kernel fault")
+                )
+                return
+            self.resilience.kernel_retries += 1
+            self.sim.schedule(policy.backoff(op.attempts), attempt)
+
+        stream.enqueue(op, attempt)
         return op
 
     # ------------------------------------------------------------------

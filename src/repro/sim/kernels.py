@@ -22,6 +22,16 @@ from dataclasses import dataclass
 from ..errors import BlasError
 from ..units import dtype_size
 
+#: Fraction of the nominal duration an injected kernel fault occupies
+#: the compute engine before aborting (on average a fault is detected
+#: about halfway through the launch).
+FAULT_ABORT_FRACTION = 0.5
+
+
+def faulted_kernel_time(duration: float) -> float:
+    """Engine-occupancy time of a kernel launch that aborts mid-run."""
+    return duration * FAULT_ABORT_FRACTION
+
 
 def _wobble01(*dims: int) -> float:
     """Deterministic pseudo-random value in [0, 1) from the dims.

@@ -26,6 +26,7 @@ from typing import Callable, Deque, Dict, Optional
 
 from ..errors import InvalidTransferError, SimulationError
 from .engine import ScheduledEvent, Simulator
+from .faults import FaultInjector
 from .noise import NoiseModel
 
 
@@ -80,9 +81,11 @@ class _Job:
     __slots__ = (
         "nbytes",
         "on_complete",
+        "on_fault",
         "tag",
         "remaining",
         "rate_scale",
+        "fail",
         "submit_time",
         "start_time",
     )
@@ -96,10 +99,14 @@ class _Job:
     ) -> None:
         self.nbytes = nbytes
         self.on_complete = on_complete
+        #: fires instead of ``on_complete`` when the transfer fails
+        self.on_fault: Optional[Callable[[], None]] = None
         self.tag = tag
         self.remaining = float(nbytes)
         #: multiplicative noise on this job's effective bandwidth
         self.rate_scale = rate_scale
+        #: injected transient failure: occupies the link, then fails
+        self.fail = False
         self.submit_time: float = 0.0
         self.start_time: float = 0.0
 
@@ -113,6 +120,8 @@ class DirectionStats:
     busy_time: float = 0.0
     flow_time: float = 0.0
     bid_overlap_time: float = 0.0
+    #: injected transient failures (each occupied the link fully)
+    faults: int = 0
 
 
 class _DirectionState:
@@ -148,6 +157,7 @@ class DuplexLink:
         d2h: LinkDirectionConfig,
         noise: Optional[NoiseModel] = None,
         trace=None,
+        faults: Optional[FaultInjector] = None,
     ) -> None:
         self._sim = sim
         self._dirs: Dict[Direction, _DirectionState] = {
@@ -156,6 +166,7 @@ class DuplexLink:
         }
         self._noise = noise
         self._trace = trace
+        self._faults = faults
 
     def config(self, direction: Direction) -> LinkDirectionConfig:
         return self._dirs[direction].cfg
@@ -176,10 +187,15 @@ class DuplexLink:
         nbytes: int,
         on_complete: Optional[Callable[[], None]] = None,
         tag: str = "",
+        on_fault: Optional[Callable[[], None]] = None,
     ) -> None:
         """Enqueue a transfer of ``nbytes`` in ``direction``.
 
         ``on_complete`` fires at the virtual time the last byte lands.
+        When a fault injector is attached the transfer may instead fail
+        (CRC-style: it occupies the link for its full duration, then
+        ``on_fault`` fires and ``on_complete`` does not), and may flow
+        at collapsed bandwidth.
         """
         if nbytes < 0:
             raise InvalidTransferError(f"negative transfer size: {nbytes}")
@@ -187,6 +203,11 @@ class DuplexLink:
         if self._noise is not None:
             scale = self._noise.rate_factor()
         job = _Job(nbytes, on_complete, tag, scale)
+        if self._faults is not None:
+            outcome = self._faults.transfer_outcome(direction.value)
+            job.fail = outcome.fail
+            job.rate_scale *= outcome.rate_factor
+            job.on_fault = on_fault
         job.submit_time = self._sim.now
         self._dirs[direction].queue.append(job)
         self._try_start(direction)
@@ -292,16 +313,21 @@ class DuplexLink:
         st.stats.transfers += 1
         st.stats.bytes_moved += job.nbytes
         st.stats.busy_time += now - job.start_time
+        if job.fail:
+            st.stats.faults += 1
         if self._trace is not None:
             self._trace.record(
                 engine=direction.value,
-                tag=job.tag,
+                tag=job.tag + ("!fault" if job.fail else ""),
                 start=job.start_time,
                 end=now,
                 nbytes=job.nbytes,
             )
         # The opposite direction lost its contender: speed it up.
         self._replan(direction.opposite)
-        if job.on_complete is not None:
+        if job.fail:
+            if job.on_fault is not None:
+                job.on_fault()
+        elif job.on_complete is not None:
             job.on_complete()
         self._try_start(direction)

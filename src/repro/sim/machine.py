@@ -10,9 +10,10 @@ paper's qualitative behaviours (Fig. 1 break-points, V100 spikes).
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict
+from typing import Dict, Optional
 
 from ..units import from_gb_per_s, from_tflops, gib
+from .faults import FaultPlan
 from .kernels import AxpyTimeModel, GemmTimeModel, KernelModelSet
 from .link import LinkDirectionConfig
 
@@ -39,10 +40,18 @@ class MachineConfig:
     #: execution; the FP32 rate is taken as twice this.
     cpu_gemm_flops: float = 1.5e11
     noise_sigma: float = 0.015
+    #: Default-off fault injection: devices built from this config
+    #: consult the plan (see :mod:`repro.sim.faults`).  ``None`` keeps
+    #: the simulator on its fault-free fast path.
+    fault_plan: Optional[FaultPlan] = None
 
     def with_noise(self, sigma: float) -> "MachineConfig":
         """A copy of this config with a different noise level."""
         return replace(self, noise_sigma=sigma)
+
+    def with_faults(self, plan: Optional[FaultPlan]) -> "MachineConfig":
+        """A copy of this config with a fault-injection plan attached."""
+        return replace(self, fault_plan=plan)
 
 
 def testbed_i() -> MachineConfig:

@@ -15,12 +15,21 @@ import math
 import numpy as np
 
 
+#: Substream index per factor type; each draws from its own seeded RNG
+#: so e.g. adding kernel launches never shifts the transfer-noise draws.
+_FACTOR_STREAMS = {"duration": 0, "latency": 1, "rate": 2}
+
+
 class NoiseModel:
     """Multiplicative lognormal noise on simulated durations.
 
     sigma
         Standard deviation of the underlying normal; 0 disables noise.
         Typical hardware jitter is 1-3%.
+
+    Each factor type (duration / latency / rate) draws from its own
+    independent substream of ``seed``, so enabling or reordering one
+    noise consumer does not perturb the sequences the others see.
     """
 
     def __init__(self, seed: int = 0, sigma: float = 0.02) -> None:
@@ -28,33 +37,39 @@ class NoiseModel:
             raise ValueError(f"negative noise sigma: {sigma}")
         self.seed = seed
         self.sigma = sigma
-        self._rng = np.random.default_rng(seed)
+        self._rngs = self._fresh_rngs()
+
+    def _fresh_rngs(self):
+        return {
+            name: np.random.default_rng([index, self.seed])
+            for name, index in _FACTOR_STREAMS.items()
+        }
 
     @classmethod
     def disabled(cls) -> "NoiseModel":
         """A noise model that always returns exactly 1.0."""
         return cls(seed=0, sigma=0.0)
 
-    def _factor(self) -> float:
+    def _factor(self, stream: str) -> float:
         if self.sigma == 0.0:
             return 1.0
-        return math.exp(self.sigma * float(self._rng.standard_normal()))
+        return math.exp(self.sigma * float(self._rngs[stream].standard_normal()))
 
     def duration_factor(self) -> float:
         """Factor applied to a kernel execution duration."""
-        return self._factor()
+        return self._factor("duration")
 
     def latency_factor(self) -> float:
         """Factor applied to a transfer's setup latency."""
-        return self._factor()
+        return self._factor("latency")
 
     def rate_factor(self) -> float:
         """Factor applied to a transfer's effective bandwidth."""
-        return self._factor()
+        return self._factor("rate")
 
     def reset(self) -> None:
-        """Rewind the RNG to its seed (identical future draws)."""
-        self._rng = np.random.default_rng(self.seed)
+        """Rewind all substreams to the seed (identical future draws)."""
+        self._rngs = self._fresh_rngs()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"NoiseModel(seed={self.seed}, sigma={self.sigma})"

@@ -47,6 +47,9 @@ class Operation:
         "done",
         "issued",
         "callbacks",
+        "attempts",
+        "fault",
+        "on_fault",
         "_dispatch",
     )
 
@@ -73,6 +76,12 @@ class Operation:
         self.done = False
         self.issued = False
         self.callbacks: List[Callable[[], None]] = []
+        #: resilience bookkeeping (see repro.sim.faults): engine
+        #: submissions of this op, whether the current attempt is
+        #: fault-doomed, and the callback fired instead of completion.
+        self.attempts = 0
+        self.fault = False
+        self.on_fault: Optional[Callable[[], None]] = None
 
     def add_dependency(self, dep: "Operation") -> None:
         """Make this op wait for ``dep`` (no-op if dep already done)."""
@@ -158,13 +167,21 @@ class ComputeEngine:
         if self._trace is not None:
             self._trace.record(
                 engine=KIND_EXEC,
-                tag=op.tag,
+                tag=op.tag + ("!fault" if op.fault else ""),
                 start=self._start_time,
                 end=now,
                 flops=op.flops,
             )
         self._active = None
-        _complete_operation(op)
+        if op.fault:
+            # Injected kernel abort: the engine was occupied for the
+            # aborted fraction but the op neither ran its payload nor
+            # completed; the device's retry machinery re-submits it.
+            on_fault = op.on_fault
+            if on_fault is not None:
+                on_fault()
+        else:
+            _complete_operation(op)
         self._maybe_start()
 
 
@@ -235,6 +252,9 @@ class Stream:
             return
         self._device.sim.run_until(lambda: last.done)
         if not last.done:
+            failures = getattr(self._device, "_fault_failures", None)
+            if failures:
+                raise failures[0]
             raise StreamError(
                 f"stream {self.name!r} did not drain: dependency deadlock"
             )
