@@ -205,6 +205,102 @@ def cmd_run(args) -> int:
     return 0
 
 
+def cmd_profile(args) -> int:
+    """Run one traced routine and emit profile.json + trace.json."""
+    import json
+    import os
+
+    from .obs import (MetricsRegistry, merge_chrome_traces, merge_traces,
+                      profile_document, profile_trace)
+
+    machine, models = _models_for(args)
+    plan = resolve_plan(args.faults)
+    if plan is not None:
+        machine = machine.with_faults(plan)
+    problem = _build_problem(args)
+    registry = MetricsRegistry()
+    dtype = np.float64 if args.dtype == "d" else np.float32
+
+    if args.gpus > 1:
+        if args.routine != "gemm":
+            raise ReproError("--gpus > 1 only supports gemm")
+        if plan is not None:
+            raise ReproError("--faults is single-GPU only (use --gpus 1)")
+        from .runtime.multigpu import MultiGpuCoCoPeLia, predict_multi_gpu
+
+        m, n, k = args.dims
+        lib = MultiGpuCoCoPeLia(machine, args.gpus, models,
+                                trace=True, metrics=registry)
+        result = lib.gemm(m=m, n=n, k=k, dtype=dtype, tile_size=args.tile)
+        seconds, tile = result.seconds, result.shards[0].tile_size
+        predicted = (predict_multi_gpu(problem, args.gpus, models,
+                                       model=args.model)
+                     if args.tile is None else None)
+        traces = lib.last_traces
+        events = merge_traces(traces)
+    else:
+        lib = CoCoPeLiaLibrary(machine, models, model=args.model,
+                               trace=True, metrics=registry)
+        calls = {
+            "gemm": lambda: lib.gemm(*args.dims, dtype=dtype,
+                                     tile_size=args.tile),
+            "gemv": lambda: lib.gemv(*args.dims, dtype=dtype,
+                                     tile_size=args.tile),
+            "syrk": lambda: lib.syrk(*args.dims, dtype=dtype,
+                                     tile_size=args.tile),
+            "axpy": lambda: lib.axpy(*args.dims, dtype=dtype,
+                                     tile_size=args.tile),
+        }
+        result = calls[args.routine]()
+        seconds, tile = result.seconds, result.tile_size
+        predicted = result.predicted_seconds
+        traces = [lib.last_trace]
+        events = merge_traces(traces)
+
+    model_name = args.model if predicted is not None else None
+    report = profile_trace(events, predicted_seconds=predicted,
+                           model=model_name)
+    doc = profile_document(report, metrics=registry, context={
+        "routine": args.routine,
+        "dims": list(args.dims),
+        "dtype": args.dtype,
+        "machine": args.machine,
+        "scale": args.scale,
+        "n_gpus": args.gpus,
+        "tile": tile,
+        "model": model_name,
+        "seconds": seconds,
+        "faults": plan.name if plan is not None else None,
+    })
+
+    os.makedirs(args.out_dir, exist_ok=True)
+    profile_path = os.path.join(args.out_dir, "profile.json")
+    trace_path = os.path.join(args.out_dir, "trace.json")
+    with open(profile_path, "w") as fh:
+        json.dump(doc, fh, indent=2)
+    with open(trace_path, "w") as fh:
+        json.dump(merge_chrome_traces(traces), fh)
+
+    print(f"{problem.describe()} on {machine.display_name} "
+          f"({args.gpus} GPU{'s' if args.gpus > 1 else ''}, T={tile})")
+    print(f"  t_total   {report.t_total * 1e3:10.3f} ms")
+    if predicted is not None:
+        print(f"  predicted {predicted * 1e3:10.3f} ms "
+              f"(e% = {report.prediction_error_pct:+.2f})")
+    print(f"  overlap   {report.overlap_fraction:.1%} of the timeline "
+          f"(efficiency {report.overlap_efficiency:.1%})")
+    cp = report.critical_path
+    print(f"  critical  compute {cp['compute'] * 1e3:.3f} ms + exposed "
+          f"transfer {cp['exposed_transfer'] * 1e3:.3f} ms + idle "
+          f"{cp['idle'] * 1e3:.3f} ms")
+    for name, prof in sorted(report.engines.items()):
+        print(f"  {name:<9} busy {prof.utilization:6.1%}  "
+              f"({prof.events} events)")
+    print(f"  wrote {profile_path} and {trace_path} "
+          f"(load trace.json in chrome://tracing)")
+    return 0
+
+
 def cmd_select(args) -> int:
     machine, models = _models_for(args)
     problem = _build_problem(args)
@@ -282,6 +378,29 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--loc-c", type=_loc, default=Loc.HOST,
                        help="location of C/y: host|device")
 
+    p_prof = sub.add_parser("profile", help="run one traced invocation and "
+                            "emit a metrics/overlap report + Chrome trace")
+    p_prof.add_argument("routine", choices=("gemm", "gemv", "syrk", "axpy"))
+    p_prof.add_argument("dims", type=int, nargs="+",
+                        help="problem dims: gemm M N K / gemv M N / axpy N")
+    _add_machine_args(p_prof)
+    p_prof.add_argument("--dtype", default="d", choices=("d", "s"))
+    p_prof.add_argument("--tile", type=int, default=None,
+                        help="explicit tiling size (default: model-selected)")
+    p_prof.add_argument("--model", default="auto",
+                        help="prediction model for selection (default: auto)")
+    p_prof.add_argument("--gpus", type=int, default=1,
+                        help="simulated GPUs (gemm only; default: 1)")
+    p_prof.add_argument("--faults", default=None, metavar="PLAN",
+                        help="inject faults while profiling (named plan or "
+                             "'key=value,...'; single-GPU only)")
+    p_prof.add_argument("--out-dir", default=".",
+                        help="directory for profile.json + trace.json "
+                             "(default: current directory)")
+    p_prof.add_argument("--loc-a", type=_loc, default=Loc.HOST)
+    p_prof.add_argument("--loc-b", type=_loc, default=Loc.HOST)
+    p_prof.add_argument("--loc-c", type=_loc, default=Loc.HOST)
+
     p_sel = sub.add_parser("select", help="show per-tile predictions and "
                            "the selected tiling size")
     p_sel.add_argument("routine", choices=("gemm", "gemv", "syrk", "axpy"))
@@ -306,6 +425,7 @@ COMMANDS = {
     "machines": cmd_machines,
     "deploy": cmd_deploy,
     "run": cmd_run,
+    "profile": cmd_profile,
     "select": cmd_select,
     "experiment": cmd_experiment,
 }

@@ -24,6 +24,19 @@ class SimulationError(ReproError):
     """The discrete-event simulator was driven into an invalid state."""
 
 
+class TraceInvariantError(SimulationError):
+    """A recorded event stream violated a structural invariant.
+
+    Raised by :func:`repro.obs.verify.verify_trace`.  ``invariant``
+    names the violated rule (e.g. ``"engine-exclusive"``) so tests can
+    assert on the exact failure and the message stays greppable.
+    """
+
+    def __init__(self, invariant: str, message: str) -> None:
+        self.invariant = invariant
+        super().__init__(f"trace invariant {invariant!r} violated: {message}")
+
+
 class FaultError(ReproError):
     """Base class of the injected-fault taxonomy."""
 

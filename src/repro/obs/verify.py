@@ -1,0 +1,225 @@
+"""Machine-checking of recorded event streams.
+
+A :class:`~repro.sim.trace.TraceRecorder` stream from a well-behaved
+run must satisfy structural invariants regardless of machine, problem,
+or fault plan.  This module checks them:
+
+``well-formed``
+    Every event has ``end >= start``, non-negative ``nbytes`` and
+    ``flops``, and a non-empty engine name.
+``completion-order``
+    The recorder appends events at their completion time on one shared
+    simulated clock, so event ``end`` times are non-decreasing in
+    record order.
+``engine-exclusive``
+    Each engine runs one job at a time: busy intervals on one engine
+    never overlap.
+``tile-order``
+    Per-tile data dependencies, parsed from the scheduler's tags: a
+    kernel reading tile ``X`` must start at or after the first
+    successful ``h2d`` of ``X`` ends, and a ``d2h`` writeback of ``X``
+    must start at or after every successful kernel writing ``X`` ends.
+``fault-matched``
+    An event tagged ``...!fault`` is a failed attempt; the retry
+    machinery must eventually land a successful event with the same
+    base tag on the same engine (unless the retry budget was exhausted
+    — pass ``allow_unmatched_faults=True`` for runs that may degrade
+    to the host fallback).
+
+The checker is exposed as a library API (:func:`verify_trace`,
+:func:`find_violations`) and as the ``check_trace`` pytest fixture in
+``tests/conftest.py``.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable, List, Optional, Sequence, Set, Tuple, Union
+
+from ..errors import TraceInvariantError
+from ..sim.trace import TraceEvent, TraceRecorder
+
+FAULT_SUFFIX = "!fault"
+
+_KERNEL_2D = re.compile(r"^(\w+)\((\d+),(\d+)\)$")
+_KERNEL_3D = re.compile(r"^(\w+)\((\d+),(\d+),(\d+)\)$")
+_KERNEL_1D = re.compile(r"^(\w+)\[(\d+)\]$")
+
+
+def split_fault(tag: str) -> Tuple[str, bool]:
+    """``("gemm(0,1,2)", True)`` for ``"gemm(0,1,2)!fault"``."""
+    if tag.endswith(FAULT_SUFFIX):
+        return tag[: -len(FAULT_SUFFIX)], True
+    return tag, False
+
+
+def transfer_tile(tag: str) -> Optional[str]:
+    """The tile a transfer tag moves (``"h2d:A(0,1)"`` -> ``"A(0,1)"``)."""
+    for prefix in ("h2d:", "d2h:"):
+        if tag.startswith(prefix):
+            return tag[len(prefix):]
+    return None
+
+
+def kernel_deps(tag: str) -> Optional[Tuple[Set[str], Set[str]]]:
+    """(reads, writes) tile sets for a scheduler kernel tag.
+
+    Returns ``None`` for tags the schedulers do not emit (hand-built
+    traces, microbenchmarks) — those kernels carry no checkable data
+    dependencies.
+    """
+    m = _KERNEL_3D.match(tag)
+    if m:
+        name, i, j, l = m.group(1), m.group(2), m.group(3), m.group(4)
+        if name == "gemm":
+            return ({f"A({i},{l})", f"B({l},{j})", f"C({i},{j})"},
+                    {f"C({i},{j})"})
+        if name == "syrk":
+            return ({f"A({i},{l})", f"A({j},{l})", f"C({i},{j})"},
+                    {f"C({i},{j})"})
+        return None
+    m = _KERNEL_2D.match(tag)
+    if m:
+        name, i, j = m.group(1), m.group(2), m.group(3)
+        if name == "gemv":
+            return ({f"A({i},{j})", f"x[{j}]", f"y[{i}]"}, {f"y[{i}]"})
+        return None
+    m = _KERNEL_1D.match(tag)
+    if m:
+        name, i = m.group(1), m.group(2)
+        if name == "axpy":
+            return ({f"x[{i}]", f"y[{i}]"}, {f"y[{i}]"})
+        return None
+    return None
+
+
+def _events(trace: Union[TraceRecorder, Iterable[TraceEvent]]
+            ) -> List[TraceEvent]:
+    if isinstance(trace, TraceRecorder):
+        return list(trace.events)
+    return list(trace)
+
+
+def find_violations(
+    trace: Union[TraceRecorder, Iterable[TraceEvent]],
+    allow_unmatched_faults: bool = False,
+    eps: float = 1e-12,
+) -> List[Tuple[str, str]]:
+    """All invariant violations as ``(invariant, message)`` pairs."""
+    events = _events(trace)
+    violations: List[Tuple[str, str]] = []
+
+    # -- well-formed ----------------------------------------------------
+    for idx, ev in enumerate(events):
+        if not ev.engine:
+            violations.append((
+                "well-formed", f"event #{idx} ({ev.tag!r}) has no engine"))
+        if ev.end < ev.start:
+            violations.append((
+                "well-formed",
+                f"event #{idx} ({ev.tag!r} on {ev.engine}) ends before it "
+                f"starts: start={ev.start}, end={ev.end}"))
+        if ev.nbytes < 0:
+            violations.append((
+                "well-formed",
+                f"event #{idx} ({ev.tag!r} on {ev.engine}) has negative "
+                f"nbytes: {ev.nbytes}"))
+        if ev.flops < 0:
+            violations.append((
+                "well-formed",
+                f"event #{idx} ({ev.tag!r} on {ev.engine}) has negative "
+                f"flops: {ev.flops}"))
+
+    # -- completion-order ----------------------------------------------
+    for idx in range(1, len(events)):
+        prev, cur = events[idx - 1], events[idx]
+        if cur.end < prev.end - eps:
+            violations.append((
+                "completion-order",
+                f"event #{idx} ({cur.tag!r} on {cur.engine}) completed at "
+                f"{cur.end} but was recorded after #{idx - 1} "
+                f"({prev.tag!r}) completing at {prev.end}"))
+
+    # -- engine-exclusive -----------------------------------------------
+    by_engine = {}
+    for ev in events:
+        by_engine.setdefault(ev.engine, []).append(ev)
+    for engine, evs in by_engine.items():
+        ordered = sorted(evs, key=lambda e: (e.start, e.end))
+        for prev, cur in zip(ordered, ordered[1:]):
+            if cur.start < prev.end - eps:
+                violations.append((
+                    "engine-exclusive",
+                    f"engine {engine!r} overlaps itself: {prev.tag!r} "
+                    f"[{prev.start}, {prev.end}] and {cur.tag!r} "
+                    f"[{cur.start}, {cur.end}]"))
+
+    # -- tile-order -----------------------------------------------------
+    first_fetch_end = {}  # tile -> end of its first successful h2d
+    for ev in events:
+        base, fault = split_fault(ev.tag)
+        tile = transfer_tile(base)
+        if tile is not None and not fault and base.startswith("h2d:"):
+            if tile not in first_fetch_end or ev.end < first_fetch_end[tile]:
+                first_fetch_end[tile] = ev.end
+    kernel_writes = {}  # tile -> latest end of a successful writing kernel
+    for ev in events:
+        base, fault = split_fault(ev.tag)
+        if fault:
+            continue
+        deps = kernel_deps(base)
+        if deps is None:
+            continue
+        reads, writes = deps
+        for tile in reads:
+            fetched = first_fetch_end.get(tile)
+            if fetched is not None and ev.start < fetched - eps:
+                violations.append((
+                    "tile-order",
+                    f"kernel {base!r} started at {ev.start} before the "
+                    f"first successful h2d of {tile!r} completed at "
+                    f"{fetched}"))
+        for tile in writes:
+            kernel_writes[tile] = max(kernel_writes.get(tile, 0.0), ev.end)
+    for ev in events:
+        base, _fault = split_fault(ev.tag)
+        tile = transfer_tile(base)
+        if tile is None or not base.startswith("d2h:"):
+            continue
+        last_write = kernel_writes.get(tile)
+        if last_write is not None and ev.start < last_write - eps:
+            violations.append((
+                "tile-order",
+                f"writeback {base!r} started at {ev.start} before the last "
+                f"kernel writing {tile!r} completed at {last_write}"))
+
+    # -- fault-matched --------------------------------------------------
+    if not allow_unmatched_faults:
+        for idx, ev in enumerate(events):
+            base, fault = split_fault(ev.tag)
+            if not fault:
+                continue
+            matched = any(
+                later.engine == ev.engine and later.tag == base
+                for later in events[idx + 1:]
+            )
+            if not matched:
+                violations.append((
+                    "fault-matched",
+                    f"failed attempt {base!r} on {ev.engine} at "
+                    f"t={ev.start} has no subsequent successful retry"))
+
+    return violations
+
+
+def verify_trace(
+    trace: Union[TraceRecorder, Iterable[TraceEvent]],
+    allow_unmatched_faults: bool = False,
+    eps: float = 1e-12,
+) -> None:
+    """Raise :class:`TraceInvariantError` on the first violation."""
+    violations = find_violations(
+        trace, allow_unmatched_faults=allow_unmatched_faults, eps=eps)
+    if violations:
+        invariant, message = violations[0]
+        raise TraceInvariantError(invariant, message)

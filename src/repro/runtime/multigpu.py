@@ -109,6 +109,8 @@ class MultiGpuCoCoPeLia:
         n_gpus: int,
         models: Optional[MachineModels] = None,
         seed: int = 53,
+        trace: bool = False,
+        metrics=None,
     ) -> None:
         if n_gpus <= 0:
             raise SchedulerError(f"need at least one GPU, got {n_gpus}")
@@ -117,6 +119,14 @@ class MultiGpuCoCoPeLia:
         self.models = models
         self._seed = seed
         self._calls = 0
+        #: Record per-device timelines; the most recent call's streams
+        #: are exposed as ``last_traces`` (one recorder per shard, all
+        #: on the shared clock, so they merge into one timeline).
+        self.trace = trace
+        self.last_traces: Optional[List] = None
+        #: duck-typed MetricsRegistry (repro.obs.metrics), shared by
+        #: every shard device (counters aggregate across shards)
+        self.metrics = metrics
 
     def gemm(
         self,
@@ -147,12 +157,18 @@ class MultiGpuCoCoPeLia:
         problem = gemm_problem(m, n, k, dtype, loc_a, loc_b, loc_c)
         shards = shard_columns(n, self.n_gpus)
         self._calls += 1
+        if self.metrics is not None:
+            self.metrics.counter("multigpu.calls").inc()
+            self.metrics.counter("multigpu.shards").inc(len(shards))
         sim = Simulator()
         devices = [
             GpuDevice(self.machine, sim=sim,
-                      seed=self._seed + 100 * self._calls + g)
+                      seed=self._seed + 100 * self._calls + g,
+                      trace=self.trace, metrics=self.metrics)
             for g in range(len(shards))
         ]
+        if self.trace:
+            self.last_traces = [dev.trace for dev in devices]
         schedulers: List[GemmTileScheduler] = []
         shard_problems: List[CoCoProblem] = []
         for g, (off, width) in enumerate(shards):

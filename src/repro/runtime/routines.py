@@ -89,12 +89,20 @@ class CoCoPeLiaLibrary:
         models: Optional[MachineModels] = None,
         model: str = "auto",
         seed: int = 7,
+        trace: bool = False,
+        metrics=None,
     ) -> None:
         self.machine = machine
         self.models = models
         self.model = model
         self._seed = seed
         self._calls = 0
+        #: Record engine timelines on every device this library creates;
+        #: the most recent call's stream is exposed as ``last_trace``.
+        self.trace = trace
+        self.last_trace = None
+        #: duck-typed MetricsRegistry (repro.obs.metrics); None = off
+        self.metrics = metrics
         #: Per-problem model reuse: T_best computed on first invocation
         #: with a given parameter set, reused afterwards.
         self._tile_choices: Dict[Tuple, TileChoice] = {}
@@ -103,8 +111,12 @@ class CoCoPeLiaLibrary:
 
     def _next_device(self, faults: Optional[FaultInjector] = None) -> GpuDevice:
         self._calls += 1
-        return GpuDevice(self.machine, seed=self._seed + self._calls,
-                         faults=faults)
+        device = GpuDevice(self.machine, seed=self._seed + self._calls,
+                           faults=faults, trace=self.trace,
+                           metrics=self.metrics)
+        if self.trace:
+            self.last_trace = device.trace
+        return device
 
     # ------------------------------------------------------------------
     # resilience: retry -> smaller T -> host fallback (see DESIGN.md)
@@ -158,11 +170,15 @@ class CoCoPeLiaLibrary:
         shared across all attempts of this call, so a re-run continues
         the fault schedule instead of replaying it.
         """
+        if self.metrics is not None:
+            self.metrics.counter("runtime.calls").inc()
         plan = self.machine.fault_plan
         if plan is None or not plan.any_faults:
             device = self._next_device()
             sched = make_scheduler(CublasContext(device), tile_size)
-            return _ResilientOutcome(sched.run(), sched, tile_size, None)
+            stats = sched.run()
+            self._record_run_metrics(tile_size, None)
+            return _ResilientOutcome(stats, sched, tile_size, None)
 
         injector = FaultInjector(plan.with_seed(plan.seed + self._calls))
         total = ResilienceCounters()
@@ -191,6 +207,7 @@ class CoCoPeLiaLibrary:
                 total.add(device.resilience)
                 break
             total.add(device.resilience)
+            self._record_run_metrics(t, total)
             return _ResilientOutcome(stats, sched, t, total)
 
         restore()
@@ -201,7 +218,21 @@ class CoCoPeLiaLibrary:
             kernels=0,
         )
         output = fallback() if fallback is not None else None
+        self._record_run_metrics(t, total)
         return _ResilientOutcome(stats, None, t, total, output=output)
+
+    def _record_run_metrics(self, tile, resilience) -> None:
+        """Fold one call's tile choice + resilience tally into metrics."""
+        m = self.metrics
+        if m is None:
+            return
+        if tile is not None:
+            t = tile if isinstance(tile, int) else min(tile)
+            m.gauge("runtime.selected_tile").set(t)
+        if resilience is not None:
+            for key, value in resilience.as_dict().items():
+                if value:
+                    m.counter(f"runtime.{key}").inc(value)
 
     def _choose_tile(self, problem: CoCoProblem) -> TileChoice:
         if self.models is None:

@@ -72,9 +72,16 @@ class _PipelineBase:
                     f"missing source data for operand {op.name!r}"
                 )
         self.hosts = hosts
+        #: the device's duck-typed metrics registry (None = off)
+        self.metrics = getattr(self.device, "metrics", None)
         self.s_h2d = self.device.create_stream("pipe-h2d")
         self.s_exec = self.device.create_stream("pipe-exec")
         self.s_d2h = self.device.create_stream("pipe-d2h")
+
+    def _count_cache(self, hit: bool) -> None:
+        if self.metrics is not None:
+            name = "runtime.cache.hits" if hit else "runtime.cache.misses"
+            self.metrics.counter(name).inc()
 
     def _snapshot(self) -> Tuple[int, ...]:
         dev = self.device
@@ -203,7 +210,9 @@ class GemmTileScheduler(_PipelineBase):
         cached = self.use_cache or name == "C"
         key = (name, i, j)
         if cached and key in self.cache:
+            self._count_cache(hit=True)
             return self.cache.get(key)
+        self._count_cache(hit=False)
         op = self._operand[name]
         host = self.hosts[name]
         r0, c0, rows, cols = grid.tile_window(i, j)
@@ -355,7 +364,9 @@ class SyrkTileScheduler(_PipelineBase):
     def _fetch_tile(self, name: str, grid: Grid2D, i: int, j: int) -> TileEntry:
         key = (name, i, j)
         if key in self.cache:
+            self._count_cache(hit=True)
             return self.cache.get(key)
+        self._count_cache(hit=False)
         op = self._operand[name]
         host = self.hosts[name]
         r0, c0, rows, cols = grid.tile_window(i, j)
@@ -466,7 +477,9 @@ class GemvTileScheduler(_PipelineBase):
     def _fetch_vector_chunk(self, name: str, grid: Grid1D, i: int,
                             cache: Dict) -> Tuple[DeviceVector, object]:
         if i in cache:
+            self._count_cache(hit=True)
             return cache[i]
+        self._count_cache(hit=False)
         op = self._operand[name]
         host = self.hosts[name]
         off, length = grid.tile_span(i)

@@ -51,11 +51,15 @@ class GpuDevice:
         trace: bool = False,
         faults: "FaultPlan | FaultInjector | None" = None,
         retry: Optional[RetryPolicy] = None,
+        metrics=None,
     ) -> None:
         self.config = config
         self.sim = sim if sim is not None else Simulator()
         self.noise = NoiseModel(seed=seed, sigma=config.noise_sigma)
         self.trace: Optional[TraceRecorder] = TraceRecorder() if trace else None
+        #: duck-typed MetricsRegistry (repro.obs.metrics); default None
+        #: keeps every instrumentation point a no-op.
+        self.metrics = metrics
         #: Fault injection is default-off: with no plan (argument or
         #: config.fault_plan) every fault hook below is skipped and the
         #: event stream is identical to the fault-free simulator's.
@@ -67,11 +71,14 @@ class GpuDevice:
         #: RetryExhaustedErrors parked by async retry chains; surfaced
         #: by synchronize() since the failing op has no caller frame.
         self._fault_failures: list = []
+        if self.faults is not None and metrics is not None:
+            self.faults.metrics = metrics
         self.link = DuplexLink(
             self.sim, config.h2d, config.d2h, noise=self.noise,
-            trace=self.trace, faults=self.faults,
+            trace=self.trace, faults=self.faults, metrics=metrics,
         )
-        self.compute = ComputeEngine(self.sim, noise=self.noise, trace=self.trace)
+        self.compute = ComputeEngine(self.sim, noise=self.noise,
+                                     trace=self.trace, metrics=metrics)
         self._used_bytes = 0
         self._streams: Dict[str, Stream] = {}
 

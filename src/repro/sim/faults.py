@@ -259,6 +259,9 @@ class FaultInjector:
 
     def __init__(self, plan: FaultPlan) -> None:
         self.plan = plan
+        #: duck-typed MetricsRegistry (repro.obs.metrics); attached by
+        #: the device/runtime layer, None = no metric emission
+        self.metrics = None
         self._scheduled: Dict[str, set] = {}
         for kind, index in plan.scheduled:
             self._scheduled.setdefault(kind, set()).add(index)
@@ -289,6 +292,8 @@ class FaultInjector:
             hit = True
         if hit:
             self.injected[kind] += 1
+            if self.metrics is not None:
+                self.metrics.counter(f"sim.faults.injected.{kind}").inc()
         return hit
 
     # ------------------------------------------------------------------

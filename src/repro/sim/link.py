@@ -158,6 +158,7 @@ class DuplexLink:
         noise: Optional[NoiseModel] = None,
         trace=None,
         faults: Optional[FaultInjector] = None,
+        metrics=None,
     ) -> None:
         self._sim = sim
         self._dirs: Dict[Direction, _DirectionState] = {
@@ -167,6 +168,8 @@ class DuplexLink:
         self._noise = noise
         self._trace = trace
         self._faults = faults
+        #: duck-typed MetricsRegistry (repro.obs.metrics); None = off
+        self._metrics = metrics
 
     def config(self, direction: Direction) -> LinkDirectionConfig:
         return self._dirs[direction].cfg
@@ -315,6 +318,15 @@ class DuplexLink:
         st.stats.busy_time += now - job.start_time
         if job.fail:
             st.stats.faults += 1
+        if self._metrics is not None:
+            prefix = f"sim.{direction.value}"
+            self._metrics.counter(f"{prefix}.transfers").inc()
+            self._metrics.counter(f"{prefix}.bytes").inc(job.nbytes)
+            if job.fail:
+                self._metrics.counter(f"{prefix}.faults").inc()
+            self._metrics.histogram(f"{prefix}.queue_wait").observe(
+                job.start_time - job.submit_time
+            )
         if self._trace is not None:
             self._trace.record(
                 engine=direction.value,

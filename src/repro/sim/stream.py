@@ -129,10 +129,13 @@ class CudaEvent:
 class ComputeEngine:
     """The GPU's kernel execution engine: one kernel at a time, FIFO."""
 
-    def __init__(self, sim: Simulator, noise=None, trace=None) -> None:
+    def __init__(self, sim: Simulator, noise=None, trace=None,
+                 metrics=None) -> None:
         self._sim = sim
         self._noise = noise
         self._trace = trace
+        #: duck-typed MetricsRegistry (repro.obs.metrics); None = off
+        self._metrics = metrics
         self._queue: Deque[Operation] = deque()
         self._active: Optional[Operation] = None
         self._start_time = 0.0
@@ -172,6 +175,13 @@ class ComputeEngine:
                 end=now,
                 flops=op.flops,
             )
+        if self._metrics is not None:
+            self._metrics.counter("sim.kernel.count").inc()
+            self._metrics.counter("sim.kernel.seconds").inc(
+                now - self._start_time)
+            self._metrics.counter("sim.kernel.flops").inc(op.flops)
+            if op.fault:
+                self._metrics.counter("sim.kernel.faults").inc()
         self._active = None
         if op.fault:
             # Injected kernel abort: the engine was occupied for the

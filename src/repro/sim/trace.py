@@ -12,6 +12,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional
 
+from ..errors import SimulationError
+
 
 @dataclass(frozen=True)
 class TraceEvent:
@@ -47,6 +49,21 @@ class TraceRecorder:
     ) -> None:
         if not self.enabled:
             return
+        if end < start:
+            raise SimulationError(
+                f"trace event {tag!r} on {engine!r} ends before it starts: "
+                f"start={start}, end={end}"
+            )
+        if nbytes < 0:
+            raise SimulationError(
+                f"trace event {tag!r} on {engine!r} has negative nbytes: "
+                f"{nbytes}"
+            )
+        if flops < 0:
+            raise SimulationError(
+                f"trace event {tag!r} on {engine!r} has negative flops: "
+                f"{flops}"
+            )
         self.events.append(TraceEvent(engine, tag, start, end, nbytes, flops))
 
     def clear(self) -> None:

@@ -45,3 +45,26 @@ def models_quiet(quiet_machine):
 @pytest.fixture()
 def rng():
     return np.random.default_rng(12345)
+
+
+@pytest.fixture()
+def check_trace():
+    """Verify recorded event streams against the structural invariants.
+
+    Yields a callable wrapping :func:`repro.obs.verify_trace`; call it
+    with a :class:`TraceRecorder` (or an event iterable) and optionally
+    ``allow_unmatched_faults=True`` for runs that may exhaust their
+    retry budget.  The fixture fails the test at teardown if it was
+    requested but never called — a requested-but-unused verifier is a
+    hole in the test, not a pass.
+    """
+    from repro.obs import verify_trace
+
+    calls = []
+
+    def check(trace, allow_unmatched_faults: bool = False) -> None:
+        calls.append(trace)
+        verify_trace(trace, allow_unmatched_faults=allow_unmatched_faults)
+
+    yield check
+    assert calls, "check_trace fixture requested but never called"

@@ -1,0 +1,95 @@
+"""Acceptance: the profiler agrees with the DR model on a clean dgemm.
+
+On a noise-free, fault-free machine the simulator *is* the timing
+model's world, so the overlap profiler's achieved makespan must land
+within 1% of the DR prediction for the runtime-selected tile — any
+larger gap means the profiler mis-measures the trace or the runtime
+diverges from the model it claims to follow.  The same run's profile
+document must round-trip through the documented JSON schema, and the
+``repro profile`` CLI must emit both artifacts on disk.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs import (
+    MetricsRegistry,
+    profile_document,
+    profile_trace,
+    validate_profile_json,
+    verify_trace,
+)
+from repro.runtime.routines import CoCoPeLiaLibrary
+
+
+@pytest.fixture(scope="module")
+def clean_run(quiet_machine, models_quiet):
+    """One traced+metered 12288^3 dgemm with runtime tile selection."""
+    registry = MetricsRegistry()
+    lib = CoCoPeLiaLibrary(quiet_machine, models_quiet, trace=True,
+                           metrics=registry)
+    result = lib.gemm(m=12288, n=12288, k=12288)
+    return result, lib.last_trace, registry
+
+
+class TestProfilerMatchesModel:
+    def test_runtime_selected_a_tile_from_the_model(self, clean_run):
+        result, _trace, registry = clean_run
+        assert result.tile_size == 3072  # pinned: drift = model change
+        assert result.predicted_seconds is not None
+        assert registry.gauge("runtime.selected_tile").value == 3072
+
+    def test_achieved_t_total_within_1pct_of_prediction(self, clean_run):
+        result, trace, _registry = clean_run
+        report = profile_trace(trace,
+                               predicted_seconds=result.predicted_seconds,
+                               model=result.model)
+        assert report.t_total == pytest.approx(result.seconds, rel=1e-12)
+        assert report.prediction_error_pct is not None
+        assert abs(report.prediction_error_pct) < 1.0
+
+    def test_trace_satisfies_structural_invariants(self, clean_run):
+        _result, trace, _registry = clean_run
+        verify_trace(trace)
+
+    def test_pipeline_actually_overlapped(self, clean_run):
+        result, trace, _registry = clean_run
+        report = profile_trace(trace)
+        assert report.overlap_fraction > 0.3
+        assert report.critical_path["compute"] > \
+            report.critical_path["exposed_transfer"]
+        assert report.traffic["flops"] == pytest.approx(result.flops)
+
+    def test_document_round_trips_through_schema(self, clean_run):
+        result, trace, registry = clean_run
+        report = profile_trace(trace,
+                               predicted_seconds=result.predicted_seconds,
+                               model=result.model)
+        doc = profile_document(report, metrics=registry,
+                               context={"routine": "gemm",
+                                        "dims": [12288, 12288, 12288]})
+        revived = json.loads(json.dumps(doc))
+        validate_profile_json(revived)
+        assert revived["report"]["prediction"]["predicted_seconds"] == \
+            result.predicted_seconds
+
+
+class TestProfileCli:
+    def test_emits_valid_profile_and_chrome_trace(self, tmp_path, capsys):
+        out_dir = tmp_path / "out"
+        rc = main(["profile", "gemm", "2048", "2048", "2048",
+                   "--db-dir", str(tmp_path / "db"),
+                   "--out-dir", str(out_dir)])
+        assert rc == 0
+        with open(out_dir / "profile.json") as fh:
+            doc = json.load(fh)
+        validate_profile_json(doc)
+        assert doc["context"]["routine"] == "gemm"
+        with open(out_dir / "trace.json") as fh:
+            chrome = json.load(fh)
+        assert chrome and all(
+            ev["ph"] in ("X", "M") for ev in chrome)
+        assert any(ev.get("name") == "process_name" for ev in chrome)
+        assert "t_total" in capsys.readouterr().out

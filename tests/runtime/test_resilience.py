@@ -49,18 +49,27 @@ def faulty_machine(clean_machine):
     return clean_machine.with_faults(PLAN)
 
 
-def _pair(clean_machine, faulty_machine, routine, arrays, **kwargs):
+def _pair(clean_machine, faulty_machine, routine, arrays, check=None,
+          **kwargs):
     """Run one routine fault-free and under the plan on fresh libraries.
 
     ``arrays`` maps operand names to arrays; each run gets its own
     copies so both start from identical inputs.  Returns a list of
     ``(result, copies_dict)`` pairs: clean first, faulted second.
+
+    When ``check`` is given (the ``check_trace`` fixture), both runs
+    record traces and each is verified against the structural
+    invariants; the faulted run may contain unmatched fault events when
+    a retry budget is exhausted mid-schedule.
     """
     results = []
     for machine in (clean_machine, faulty_machine):
         copies = {name: np.copy(a) for name, a in arrays.items()}
-        lib = CoCoPeLiaLibrary(machine)
+        lib = CoCoPeLiaLibrary(machine, trace=check is not None)
         results.append((getattr(lib, routine)(**copies, **kwargs), copies))
+        if check is not None:
+            check(lib.last_trace,
+                  allow_unmatched_faults=machine is faulty_machine)
     return results
 
 
@@ -69,13 +78,14 @@ class TestGemmUnderFaults:
         (np.float64, "dgemm"), (np.float32, "sgemm"),
     ])
     def test_result_matches_fault_free_and_reference(
-            self, clean_machine, faulty_machine, rng, dtype, routine_name):
+            self, clean_machine, faulty_machine, rng, dtype, routine_name,
+            check_trace):
         a = rng.standard_normal((384, 256)).astype(dtype)
         b = rng.standard_normal((256, 320)).astype(dtype)
         c = rng.standard_normal((384, 320)).astype(dtype)
         (r0, run0), (rf, runf) = _pair(
             clean_machine, faulty_machine, "gemm", {"a": a, "b": b, "c": c},
-            tile_size=128, alpha=1.5, beta=0.5)
+            check=check_trace, tile_size=128, alpha=1.5, beta=0.5)
         c0, cf = run0["c"], runf["c"]
         assert rf.routine == routine_name
         assert np.array_equal(cf, c0), \
@@ -105,38 +115,38 @@ class TestGemmUnderFaults:
 
 
 class TestVectorRoutinesUnderFaults:
-    def test_daxpy(self, clean_machine, faulty_machine, rng):
+    def test_daxpy(self, clean_machine, faulty_machine, rng, check_trace):
         x = rng.standard_normal(150_000)
         y = rng.standard_normal(150_000)
         (r0, run0), (rf, runf) = _pair(
             clean_machine, faulty_machine, "axpy", {"x": x, "y": y},
-            tile_size=25_000, alpha=2.0)
+            check=check_trace, tile_size=25_000, alpha=2.0)
         y0, yf = run0["y"], runf["y"]
         assert rf.routine == "daxpy"
         assert np.array_equal(yf, y0)
         assert np.array_equal(yf, ref_axpy(x, y, 2.0))
         assert rf.resilience.any()
 
-    def test_dgemv(self, clean_machine, faulty_machine, rng):
+    def test_dgemv(self, clean_machine, faulty_machine, rng, check_trace):
         a = rng.standard_normal((512, 384))
         x = rng.standard_normal(384)
         y = rng.standard_normal(512)
         (r0, run0), (rf, runf) = _pair(
             clean_machine, faulty_machine, "gemv", {"a": a, "x": x, "y": y},
-            tile_size=128, alpha=1.25, beta=0.75)
+            check=check_trace, tile_size=128, alpha=1.25, beta=0.75)
         y0, yf = run0["y"], runf["y"]
         assert np.array_equal(yf, y0)
         assert_allclose_blas(yf, ref_gemv(a, x, y, 1.25, 0.75),
                              reduction_depth=384)
         assert rf.resilience.any()
 
-    def test_dsyrk(self, clean_machine, faulty_machine, rng):
+    def test_dsyrk(self, clean_machine, faulty_machine, rng, check_trace):
         a = rng.standard_normal((320, 256))
         c = rng.standard_normal((320, 320))
         c = c + c.T  # symmetric input, as syrk expects
         (r0, run0), (rf, runf) = _pair(
             clean_machine, faulty_machine, "syrk", {"a": a, "c": c},
-            tile_size=128, alpha=1.0, beta=0.5)
+            check=check_trace, tile_size=128, alpha=1.0, beta=0.5)
         c0, cf = run0["c"], runf["c"]
         assert np.array_equal(cf, c0)
         ref = ref_syrk(a, c, 1.0, 0.5)
@@ -218,16 +228,21 @@ class TestDegradationLadder:
         assert res.seconds > 0
         assert res.h2d_transfers == 0  # nothing ran on the device
 
-    def test_retry_exhaustion_falls_back_to_host(self, clean_machine, rng):
+    def test_retry_exhaustion_falls_back_to_host(self, clean_machine, rng,
+                                                 check_trace):
         machine = clean_machine.with_faults(
             FaultPlan(name="dead-link", seed=5, transfer_fail_rate=1.0))
         x = rng.standard_normal(50_000)
         y = rng.standard_normal(50_000)
         expected = ref_axpy(x, y, 3.0)
-        res = CoCoPeLiaLibrary(machine).axpy(x=x, y=y, tile_size=25_000,
-                                             alpha=3.0)
+        lib = CoCoPeLiaLibrary(machine, trace=True)
+        res = lib.axpy(x=x, y=y, tile_size=25_000, alpha=3.0)
         assert res.resilience.host_fallbacks == 1
         assert np.array_equal(y, expected)
+        # the aborted device attempt still left a structurally valid
+        # trace; its final faults are unmatched because the retry
+        # budget ran out rather than a retry succeeding
+        check_trace(lib.last_trace, allow_unmatched_faults=True)
 
     def test_fallback_restores_partial_writebacks(self, clean_machine, rng):
         """A run that dies mid-schedule must not leave beta-scaled or

@@ -180,7 +180,7 @@ class TestGemmTraffic:
 
 
 class TestGemmTiming:
-    def test_overlap_beats_serial_bound(self):
+    def test_overlap_beats_serial_bound(self, check_trace):
         """The pipeline must beat transfers+compute run serially."""
         problem = gemm_problem(1024, 1024, 1024)
         ctx = make_ctx(trace=True)
@@ -188,29 +188,32 @@ class TestGemmTiming:
         sched = GemmTileScheduler(ctx, problem, 256, hosts)
         stats = sched.run()
         trace = ctx.device.trace
+        check_trace(trace)
         serial = (trace.busy_time("h2d") + trace.busy_time("exec")
                   + trace.busy_time("d2h"))
         assert stats.seconds < serial
         sched.release()
 
-    def test_makespan_at_least_each_engine(self):
+    def test_makespan_at_least_each_engine(self, check_trace):
         problem = gemm_problem(1024, 1024, 1024)
         ctx = make_ctx(trace=True)
         hosts = {n: _host_operand(problem, n, None) for n in "ABC"}
         sched = GemmTileScheduler(ctx, problem, 256, hosts)
         stats = sched.run()
         trace = ctx.device.trace
+        check_trace(trace)
         for engine in ("h2d", "exec", "d2h"):
             assert stats.seconds >= trace.busy_time(engine) - 1e-12
         sched.release()
 
-    def test_transfers_overlap_compute(self):
+    def test_transfers_overlap_compute(self, check_trace):
         problem = gemm_problem(1024, 1024, 1024)
         ctx = make_ctx(trace=True)
         hosts = {n: _host_operand(problem, n, None) for n in "ABC"}
         sched = GemmTileScheduler(ctx, problem, 256, hosts)
         sched.run()
         trace = ctx.device.trace
+        check_trace(trace)
         overlap = trace.overlap_time("h2d", "exec")
         assert overlap > 0.3 * trace.busy_time("h2d")
         sched.release()

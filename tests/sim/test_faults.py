@@ -240,7 +240,7 @@ class TestDeviceFaults:
         return GpuDevice(custom_machine(noise_sigma=0.0), faults=plan,
                          **kwargs)
 
-    def test_transfer_failure_retried(self):
+    def test_transfer_failure_retried(self, check_trace):
         dev = self._device(FaultPlan(scheduled=(("h2d", 0),)), trace=True)
         stream = dev.create_stream("s")
         op = dev.memcpy_h2d_async(1 << 20, stream, tag="a00")
@@ -253,6 +253,7 @@ class TestDeviceFaults:
         assert stats.transfers == 2  # failed attempt occupies the link
         tags = [e.tag for e in dev.trace.by_engine("h2d")]
         assert tags == ["a00!fault", "a00"]
+        check_trace(dev.trace)  # the retry matches the fault event
 
     def test_backoff_extends_simulated_time(self):
         clean = self._device(None)
@@ -277,7 +278,7 @@ class TestDeviceFaults:
         assert op.attempts == dev.retry_policy.max_attempts
         assert "a00" in str(exc.value)
 
-    def test_kernel_fault_retried_and_aborted_time_counted(self):
+    def test_kernel_fault_retried_and_aborted_time_counted(self, check_trace):
         dev = self._device(FaultPlan(scheduled=(("kernel", 0),)), trace=True)
         stream = dev.create_stream("s")
         ran = []
@@ -292,6 +293,7 @@ class TestDeviceFaults:
         assert dev.trace.busy_time("exec") == pytest.approx(1.5e-3)
         assert [e.tag for e in dev.trace.by_engine("exec")] == \
             ["k0!fault", "k0"]
+        check_trace(dev.trace)
 
     def test_kernel_exhaustion_surfaces_on_sync(self):
         dev = self._device(FaultPlan(kernel_fail_rate=1.0))

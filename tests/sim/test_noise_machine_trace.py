@@ -10,6 +10,7 @@ import pytest
 from repro.sim.machine import custom_machine, get_testbed
 from repro.sim.machine import testbed_i as make_testbed_i
 from repro.sim.machine import testbed_ii as make_testbed_ii
+from repro.errors import SimulationError
 from repro.sim.noise import NoiseModel
 from repro.sim.trace import TraceRecorder, render_timeline
 from repro.units import from_gb_per_s
@@ -136,6 +137,37 @@ class TestTrace:
         tr = TraceRecorder()
         tr.enabled = False
         tr.record("h2d", "x", 0.0, 1.0)
+        assert tr.events == []
+
+    def test_record_rejects_end_before_start(self):
+        tr = TraceRecorder()
+        with pytest.raises(SimulationError, match="ends before it starts"):
+            tr.record("h2d", "x", 1.0, 0.5)
+        assert tr.events == []
+
+    def test_record_rejects_negative_nbytes(self):
+        tr = TraceRecorder()
+        with pytest.raises(SimulationError, match="negative nbytes"):
+            tr.record("h2d", "x", 0.0, 1.0, nbytes=-1)
+        assert tr.events == []
+
+    def test_record_rejects_negative_flops(self):
+        tr = TraceRecorder()
+        with pytest.raises(SimulationError, match="negative flops"):
+            tr.record("exec", "k", 0.0, 1.0, flops=-1.0)
+        assert tr.events == []
+
+    def test_record_accepts_zero_duration(self):
+        tr = TraceRecorder()
+        tr.record("h2d", "x", 1.0, 1.0)
+        assert len(tr.events) == 1
+
+    def test_disabled_recorder_skips_validation(self):
+        # enabled=False must remain a pure no-op, including for events
+        # that would otherwise be rejected.
+        tr = TraceRecorder()
+        tr.enabled = False
+        tr.record("h2d", "x", 1.0, 0.5)
         assert tr.events == []
 
     def test_render_timeline_contains_engines(self):
