@@ -1,0 +1,107 @@
+"""Bench: serving-layer throughput/latency sweep over arrival rates.
+
+Fixed-seed open-loop Poisson workloads against a 4-GPU simulated
+machine, swept from light load to saturation.  Claims checked:
+throughput tracks the offered rate while unsaturated and then
+flattens; tail latency is monotone in offered load; the report is
+deterministic for the fixed seed.
+
+Besides the rendered table, the sweep is persisted as
+``results/BENCH_serving.json`` — the machine-readable perf-trajectory
+artifact CI and future PRs diff against.
+"""
+
+import json
+
+from repro.experiments.harness import models_for
+from repro.obs import MetricsRegistry
+from repro.serve import (BlasServer, ServerConfig, WorkloadSpec,
+                         generate_workload, serve_report)
+from repro.experiments.report import format_table
+from repro.sim.machine import get_testbed
+
+from conftest import emit
+
+BENCH_SEED = 11
+ARRIVAL_RATES = (200.0, 1000.0, 4000.0, 8000.0)
+N_REQUESTS = 64
+N_GPUS = 4
+
+
+def _serve_at(machine, models, rate: float) -> dict:
+    spec = WorkloadSpec(arrival="poisson", rate=rate,
+                        n_requests=N_REQUESTS, scale="tiny",
+                        seed=BENCH_SEED)
+    config = ServerConfig(n_gpus=N_GPUS, seed=BENCH_SEED)
+    server = BlasServer(machine, models, config,
+                        metrics=MetricsRegistry())
+    return serve_report(server.serve(generate_workload(spec)))
+
+
+def test_serving_rate_sweep(benchmark, bench_scale, results_dir):
+    machine = get_testbed("testbed_ii")
+    models = models_for(machine, bench_scale)
+
+    def run_all():
+        return {rate: _serve_at(machine, models, rate)
+                for rate in ARRIVAL_RATES}
+
+    reports = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    rows = []
+    sweep = []
+    for rate, report in reports.items():
+        latency = report["latency"]
+        slo = report["requests"]["slo"]
+        rows.append([
+            int(rate),
+            round(report["throughput_rps"], 1),
+            round(latency["p50"] * 1e3, 2),
+            round(latency["p95"] * 1e3, 2),
+            round(latency["p99"] * 1e3, 2),
+            f"{slo['attainment']:.0%}",
+            report["requests"]["shed"],
+        ])
+        sweep.append({
+            "rate": rate,
+            "throughput_rps": report["throughput_rps"],
+            "p50": latency["p50"],
+            "p95": latency["p95"],
+            "p99": latency["p99"],
+            "slo_attainment": slo["attainment"],
+            "shed": report["requests"]["shed"],
+            "completed": report["requests"]["completed"],
+            "makespan": report["makespan"],
+        })
+
+    emit(results_dir, "serving_rate_sweep", format_table(
+        ["rate/s", "tput/s", "p50 ms", "p95 ms", "p99 ms", "SLO", "shed"],
+        rows,
+        title=f"Serving sweep, {N_REQUESTS} requests x{N_GPUS} GPUs "
+              f"(testbed_ii, seed {BENCH_SEED})",
+    ))
+    doc = {
+        "schema": "repro.bench-serving/v1",
+        "machine": "testbed_ii",
+        "model_scale": bench_scale,
+        "seed": BENCH_SEED,
+        "n_requests": N_REQUESTS,
+        "n_gpus": N_GPUS,
+        "workload_scale": "tiny",
+        "sweep": sweep,
+    }
+    (results_dir / "BENCH_serving.json").write_text(
+        json.dumps(doc, indent=2, sort_keys=True) + "\n")
+
+    rates = list(ARRIVAL_RATES)
+    # Unsaturated throughput tracks the offered rate.
+    light = reports[rates[0]]
+    assert light["throughput_rps"] > 0.8 * rates[0]
+    # Tail latency is monotone non-decreasing in offered load.
+    p99s = [reports[r]["latency"]["p99"] for r in rates]
+    assert all(b >= a * 0.95 for a, b in zip(p99s, p99s[1:])), p99s
+    # Everything completes (admission sheds only under deadline misses).
+    for rate in rates:
+        counts = reports[rate]["requests"]
+        assert counts["completed"] + counts["shed"] == N_REQUESTS
+        assert counts["failed"] == 0

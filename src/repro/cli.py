@@ -301,6 +301,81 @@ def cmd_profile(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    """Serve a generated workload on N simulated GPUs; emit serve.json."""
+    import json
+    import os
+
+    from .obs import MetricsRegistry
+    from .serve import (BlasServer, ServerConfig, WorkloadSpec,
+                        dump_serve_document, generate_workload,
+                        serve_document, spec_as_dict)
+
+    machine, models = _models_for(args)
+    plan = resolve_plan(args.faults)
+    if plan is not None:
+        machine = machine.with_faults(plan)
+    spec = WorkloadSpec(
+        arrival=args.arrival,
+        rate=args.rate,
+        n_requests=args.requests,
+        scale=args.workload_scale,
+        seed=args.seed,
+    )
+    config = ServerConfig(
+        n_gpus=args.gpus,
+        placement=args.placement,
+        admission=args.admission,
+        model=args.model,
+        batching=not args.no_batching,
+        host_offload=not args.no_host_offload,
+        seed=args.seed,
+    )
+    registry = MetricsRegistry()
+    server = BlasServer(machine, models, config, metrics=registry)
+    outcome = server.serve(generate_workload(spec))
+    doc = serve_document(outcome, metrics=registry, context={
+        "machine": args.machine,
+        "scale": args.scale,
+        "workload": spec_as_dict(spec),
+        "n_gpus": args.gpus,
+        "placement": args.placement,
+        "admission": args.admission,
+        "model": args.model,
+        "faults": plan.name if plan is not None else None,
+    })
+
+    os.makedirs(args.out_dir, exist_ok=True)
+    serve_path = os.path.join(args.out_dir, "serve.json")
+    with open(serve_path, "w") as fh:
+        fh.write(dump_serve_document(doc))
+
+    report = doc["report"]
+    counts = report["requests"]
+    slo = counts["slo"]
+    print(f"Served {counts['total']} requests on {machine.display_name} "
+          f"x{args.gpus} ({args.arrival} arrivals @ {args.rate:g}/s, "
+          f"placement={args.placement})")
+    print(f"  completed {counts['completed']}  shed {counts['shed']}  "
+          f"failed {counts['failed']}  downgraded {counts['downgraded']}  "
+          f"host-fallbacks {counts['fallbacks']}")
+    print(f"  throughput {report['throughput_rps']:.1f} req/s over "
+          f"{report['makespan'] * 1e3:.1f} ms")
+    latency = report["latency"]
+    if latency is not None:
+        print(f"  latency   p50 {latency['p50'] * 1e3:.2f} ms  "
+              f"p95 {latency['p95'] * 1e3:.2f} ms  "
+              f"p99 {latency['p99'] * 1e3:.2f} ms")
+    print(f"  SLO       {slo['met']}/{slo['with_deadline']} deadlines met "
+          f"({slo['attainment']:.1%})")
+    for worker in report["workers"]:
+        print(f"  {worker['worker']:<6} util {worker['utilization']:6.1%}  "
+              f"{worker['requests']} requests in {worker['batches']} "
+              f"batches")
+    print(f"  wrote {serve_path}")
+    return 0
+
+
 def cmd_select(args) -> int:
     machine, models = _models_for(args)
     problem = _build_problem(args)
@@ -401,6 +476,44 @@ def build_parser() -> argparse.ArgumentParser:
     p_prof.add_argument("--loc-b", type=_loc, default=Loc.HOST)
     p_prof.add_argument("--loc-c", type=_loc, default=Loc.HOST)
 
+    p_serve = sub.add_parser("serve", help="serve a generated BLAS "
+                             "workload on N simulated GPUs")
+    _add_machine_args(p_serve)
+    p_serve.add_argument("--gpus", type=int, default=4,
+                         help="simulated GPU workers (default: 4)")
+    p_serve.add_argument("--arrival", default="poisson",
+                         choices=("poisson", "bursty"),
+                         help="arrival process (default: poisson)")
+    p_serve.add_argument("--rate", type=float, default=50.0,
+                         help="mean arrival rate in req/s (default: 50)")
+    p_serve.add_argument("--requests", type=int, default=64,
+                         help="number of requests (default: 64)")
+    p_serve.add_argument("--workload-scale", default="tiny",
+                         choices=("tiny", "quick", "paper"),
+                         help="problem-size mix scale (default: tiny)")
+    p_serve.add_argument("--seed", type=int, default=0,
+                         help="workload + serving seed (default: 0)")
+    p_serve.add_argument("--placement", default="model",
+                         choices=("model", "round_robin"),
+                         help="placement policy (default: model)")
+    p_serve.add_argument("--admission", default="shed",
+                         choices=("none", "shed", "downgrade"),
+                         help="admission control (default: shed)")
+    p_serve.add_argument("--model", default="auto",
+                         help="prediction model for placement "
+                              "(default: auto)")
+    p_serve.add_argument("--no-batching", action="store_true",
+                         help="disable coalescing of compatible small "
+                              "requests")
+    p_serve.add_argument("--no-host-offload", action="store_true",
+                         help="disable the sub-crossover host CPU path")
+    p_serve.add_argument("--faults", default=None, metavar="PLAN",
+                         help="inject faults while serving (named plan or "
+                              "'key=value,...')")
+    p_serve.add_argument("--out-dir", default=".",
+                         help="directory for serve.json (default: current "
+                              "directory)")
+
     p_sel = sub.add_parser("select", help="show per-tile predictions and "
                            "the selected tiling size")
     p_sel.add_argument("routine", choices=("gemm", "gemv", "syrk", "axpy"))
@@ -426,6 +539,7 @@ COMMANDS = {
     "deploy": cmd_deploy,
     "run": cmd_run,
     "profile": cmd_profile,
+    "serve": cmd_serve,
     "select": cmd_select,
     "experiment": cmd_experiment,
 }

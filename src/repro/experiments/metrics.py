@@ -87,6 +87,49 @@ def speedup(time_baseline: float, time_new: float) -> float:
     return time_baseline / time_new
 
 
+#: Tail percentiles the serving layer reports (p50/p95/p99).
+LATENCY_PERCENTILES = (50, 95, 99)
+
+
+def percentiles(samples: Sequence[float],
+                ps: Sequence[float] = LATENCY_PERCENTILES
+                ) -> List[float]:
+    """Per-percentile values of a sample, linearly interpolated.
+
+    Uses numpy's default ``linear`` interpolation so e.g. the p50 of an
+    even-sized sample is the midpoint average — matching
+    :class:`ErrorDistribution` and the usual latency-report convention.
+    """
+    arr = np.asarray(samples, dtype=np.float64)
+    if arr.size == 0:
+        raise ReproError("percentiles of an empty sample")
+    for p in ps:
+        if not 0 <= p <= 100:
+            raise ReproError(f"percentile outside [0, 100]: {p}")
+    return [float(v) for v in np.percentile(arr, list(ps))]
+
+
+def latency_summary(samples: Sequence[float]) -> dict:
+    """JSON-ready tail-latency summary (used by the serve report).
+
+    Keys: ``n``, ``mean``, ``min``, ``max`` and one ``pNN`` entry per
+    percentile in :data:`LATENCY_PERCENTILES`.
+    """
+    arr = np.asarray(samples, dtype=np.float64)
+    if arr.size == 0:
+        raise ReproError("latency summary of an empty sample")
+    summary = {
+        "n": int(arr.size),
+        "mean": float(arr.mean()),
+        "min": float(arr.min()),
+        "max": float(arr.max()),
+    }
+    for p, value in zip(LATENCY_PERCENTILES,
+                        percentiles(arr, LATENCY_PERCENTILES)):
+        summary[f"p{p}"] = value
+    return summary
+
+
 def overlap_summary(trace, predicted_seconds: float = None,
                     model: str = None) -> dict:
     """Achieved-overlap report for one traced run, as a plain dict.

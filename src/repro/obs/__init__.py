@@ -39,10 +39,12 @@ from .profiler import (
 )
 from .verify import (
     FAULT_SUFFIX,
+    find_request_violations,
     find_violations,
     kernel_deps,
     split_fault,
     transfer_tile,
+    verify_requests,
     verify_trace,
 )
 
@@ -65,9 +67,11 @@ __all__ = [
     "spans_total",
     "validate_profile_json",
     "FAULT_SUFFIX",
+    "find_request_violations",
     "find_violations",
     "kernel_deps",
     "split_fault",
     "transfer_tile",
+    "verify_requests",
     "verify_trace",
 ]

@@ -26,9 +26,22 @@ or fault plan.  This module checks them:
     — pass ``allow_unmatched_faults=True`` for runs that may degrade
     to the host fallback).
 
+Serving runs add two per-request invariants over request lifecycle
+records (:func:`find_request_violations` / :func:`verify_requests`):
+
+``request-lifecycle``
+    A completed request's timestamps are monotone:
+    ``enqueue <= dispatch <= first event <= completion``.
+``request-exclusive``
+    A worker executes one batch at a time: the ``[dispatch,
+    completion]`` spans of *distinct batches* on one worker never
+    overlap (requests coalesced into the same batch share their span).
+
 The checker is exposed as a library API (:func:`verify_trace`,
 :func:`find_violations`) and as the ``check_trace`` pytest fixture in
-``tests/conftest.py``.
+``tests/conftest.py``; the fixture forwards ``requests=`` so serve
+tests verify both the device event streams and the request lifecycles
+in one call.
 """
 
 from __future__ import annotations
@@ -212,14 +225,87 @@ def find_violations(
     return violations
 
 
+def find_request_violations(
+    requests: Iterable[object],
+    eps: float = 1e-12,
+) -> List[Tuple[str, str]]:
+    """Per-request invariant violations as ``(invariant, message)`` pairs.
+
+    ``requests`` are duck-typed lifecycle records — anything with
+    ``req_id``, ``worker``, ``batch_id``, ``enqueue_t``, ``dispatch_t``,
+    ``first_t`` and ``completion_t`` attributes (e.g.
+    :class:`repro.serve.request.Request`).  Requests that never
+    completed (shed, failed, still queued) carry no complete span and
+    are only checked for the monotonicity of whatever timestamps they
+    do have.
+    """
+    violations: List[Tuple[str, str]] = []
+    completed = []
+    for req in requests:
+        rid = getattr(req, "req_id", "?")
+        stamps = [("enqueue", getattr(req, "enqueue_t", None)),
+                  ("dispatch", getattr(req, "dispatch_t", None)),
+                  ("first event", getattr(req, "first_t", None)),
+                  ("completion", getattr(req, "completion_t", None))]
+        present = [(name, t) for name, t in stamps if t is not None]
+        for (n1, t1), (n2, t2) in zip(present, present[1:]):
+            if t2 < t1 - eps:
+                violations.append((
+                    "request-lifecycle",
+                    f"request #{rid}: {n2} at {t2} precedes {n1} at {t1}"))
+        if stamps[3][1] is not None and stamps[1][1] is not None:
+            completed.append(req)
+
+    by_worker = {}
+    for req in completed:
+        worker = getattr(req, "worker", None)
+        if worker is not None:
+            by_worker.setdefault(worker, []).append(req)
+    for worker, reqs in sorted(by_worker.items()):
+        spans = {}  # batch_id -> (start, end, req_id)
+        for req in reqs:
+            key = (req.batch_id if getattr(req, "batch_id", None) is not None
+                   else ("solo", req.req_id))
+            start, end = req.dispatch_t, req.completion_t
+            if key in spans:
+                s0, e0, _ = spans[key]
+                spans[key] = (min(s0, start), max(e0, end), spans[key][2])
+            else:
+                spans[key] = (start, end, req.req_id)
+        ordered = sorted(spans.values())
+        for (s1, e1, r1), (s2, e2, r2) in zip(ordered, ordered[1:]):
+            if s2 < e1 - eps:
+                violations.append((
+                    "request-exclusive",
+                    f"worker {worker!r} overlaps itself: request #{r1} "
+                    f"[{s1}, {e1}] and request #{r2} [{s2}, {e2}] are in "
+                    f"different batches"))
+    return violations
+
+
+def verify_requests(requests: Iterable[object], eps: float = 1e-12) -> None:
+    """Raise :class:`TraceInvariantError` on the first request violation."""
+    violations = find_request_violations(requests, eps=eps)
+    if violations:
+        invariant, message = violations[0]
+        raise TraceInvariantError(invariant, message)
+
+
 def verify_trace(
     trace: Union[TraceRecorder, Iterable[TraceEvent]],
     allow_unmatched_faults: bool = False,
     eps: float = 1e-12,
+    requests: Optional[Iterable[object]] = None,
 ) -> None:
-    """Raise :class:`TraceInvariantError` on the first violation."""
+    """Raise :class:`TraceInvariantError` on the first violation.
+
+    ``requests`` optionally adds the per-request serving invariants
+    (:func:`find_request_violations`) to the structural trace checks.
+    """
     violations = find_violations(
         trace, allow_unmatched_faults=allow_unmatched_faults, eps=eps)
+    if requests is not None:
+        violations += find_request_violations(requests, eps=eps)
     if violations:
         invariant, message = violations[0]
         raise TraceInvariantError(invariant, message)

@@ -1,0 +1,312 @@
+"""Model-guided placement, batching compatibility, and admission.
+
+The dispatcher is the decision core of the serving layer: for each
+request it evaluates the deployed CoCoPeLia models to predict service
+time on every simulated GPU, scores each placement by *predicted
+completion time*
+
+    score(g) = now + backlog(g) + T_pred(problem | locality(g))
+
+where ``backlog(g)`` is the remaining predicted time of the request
+currently running on ``g`` plus the admission-time predictions of its
+queued work, and ``locality(g)`` re-predicts with the A operand
+device-resident when ``g`` still caches the request's weight group.
+Placement routes to the argmin (ties to the lowest GPU index).  A
+``round_robin`` policy is kept as the baseline: same execution path,
+placement by turn.
+
+Sub-crossover gemms can beat the best GPU placement on the host CPU
+(no PCIe transfers, no queueing behind large kernels); the dispatcher
+compares against a flat-rate host prediction and routes below the
+crossover.  Admission control sheds (or downgrades) requests whose
+predicted completion already exceeds their deadline at arrival.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..core.instantiation import MachineModels
+from ..core.params import CoCoProblem, Loc, gemm_problem
+from ..core.select import TileChoice, select_tile
+from ..runtime.hybrid import host_gemm_time
+from ..sim.machine import MachineConfig
+from .request import Request, RequestQueue, ServeError
+
+PLACEMENT_POLICIES = ("model", "round_robin")
+ADMISSION_MODES = ("none", "shed", "downgrade")
+
+#: Worker name of the host CPU path.
+HOST_WORKER = "host"
+
+
+def gpu_worker(index: int) -> str:
+    return f"gpu{index}"
+
+
+@dataclass
+class GpuState:
+    """Dispatcher-visible state of one simulated GPU worker."""
+
+    index: int
+    queue: RequestQueue = field(default_factory=RequestQueue)
+    #: Predicted absolute end time of the in-flight batch (0 = idle).
+    running_pred_end: float = 0.0
+    busy: bool = False
+    #: LRU weight cache: residency key -> bytes (see _residency_key).
+    resident: "OrderedDict[Tuple, int]" = field(default_factory=OrderedDict)
+
+    def backlog(self, now: float) -> float:
+        running = max(self.running_pred_end - now, 0.0) if self.busy else 0.0
+        return running + self.queue.total_predicted()
+
+
+@dataclass
+class HostState:
+    """State of the host CPU fallback worker (FIFO, unmodelled cache)."""
+
+    queue: RequestQueue = field(default_factory=RequestQueue)
+    running_pred_end: float = 0.0
+    busy: bool = False
+
+    def backlog(self, now: float) -> float:
+        running = max(self.running_pred_end - now, 0.0) if self.busy else 0.0
+        return running + self.queue.total_predicted()
+
+
+@dataclass(frozen=True)
+class Placement:
+    """A placement decision for one request."""
+
+    worker: str                   #: "gpuN" or "host"
+    tile: Optional[int]           #: chosen tiling size (None on host)
+    predicted_seconds: float      #: predicted service time
+    predicted_completion: float   #: now + backlog + service
+    locality_hit: bool = False    #: weight group was device-resident
+
+
+def _residency_key(problem: CoCoProblem, group: str) -> Tuple:
+    """Cache key of a group's shared A operand (its "weights")."""
+    a = problem.operands[0]
+    return (group, a.s1, a.s2, str(problem.dtype))
+
+
+def _with_device_a(problem: CoCoProblem) -> CoCoProblem:
+    """The same gemm with A already device-resident (locality hit)."""
+    m, n, k = problem.dims
+    locs = [op.loc for op in problem.operands]
+    return gemm_problem(m, n, k, problem.dtype, Loc.DEVICE, locs[1], locs[2])
+
+
+class Dispatcher:
+    """Scores placements and applies admission control.
+
+    The dispatcher owns no clock and runs nothing — it only answers
+    "where should this go and will it make its deadline", and tracks
+    the backlog/residency state those answers depend on.  The server
+    drives it and reports dispatch/completion events back.
+    """
+
+    def __init__(
+        self,
+        machine: MachineConfig,
+        models: MachineModels,
+        n_gpus: int,
+        model: str = "auto",
+        policy: str = "model",
+        admission: str = "shed",
+        locality: bool = True,
+        host_offload: bool = True,
+        weight_cache_fraction: float = 0.5,
+    ) -> None:
+        if n_gpus <= 0:
+            raise ServeError(f"non-positive GPU count: {n_gpus}")
+        if policy not in PLACEMENT_POLICIES:
+            raise ServeError(
+                f"unknown placement policy {policy!r}; "
+                f"valid: {PLACEMENT_POLICIES}")
+        if admission not in ADMISSION_MODES:
+            raise ServeError(
+                f"unknown admission mode {admission!r}; "
+                f"valid: {ADMISSION_MODES}")
+        self.machine = machine
+        self.models = models
+        self.model = model
+        self.policy = policy
+        self.admission = admission
+        self.locality = locality
+        self.host_offload = host_offload
+        self.gpus = [GpuState(i) for i in range(n_gpus)]
+        self.host = HostState()
+        self._cache_capacity = weight_cache_fraction * machine.gpu_mem_bytes
+        self._rr_next = 0
+        #: (problem signature, loc-adjusted) -> TileChoice memo.
+        self._choices: Dict[Tuple, TileChoice] = {}
+
+    # -- predictions ---------------------------------------------------
+
+    def predict_gpu(self, problem: CoCoProblem) -> TileChoice:
+        """Model-predicted best tile and service time on one GPU."""
+        key = problem.signature()
+        choice = self._choices.get(key)
+        if choice is None:
+            choice = select_tile(problem, self.models, model=self.model)
+            self._choices[key] = choice
+        return choice
+
+    def predict_host(self, problem: CoCoProblem) -> Optional[float]:
+        """Flat-rate host CPU service prediction (gemm only)."""
+        if problem.routine.name != "gemm":
+            return None
+        m, n, k = problem.dims
+        return host_gemm_time(self.machine, m, n, k, problem.dtype)
+
+    # -- residency / locality ------------------------------------------
+
+    def _is_resident(self, gpu: GpuState, request: Request) -> bool:
+        if not self.locality or request.group is None:
+            return False
+        if request.problem.routine.name != "gemm":
+            return False
+        if request.problem.operands[0].loc is not Loc.HOST:
+            return False
+        return _residency_key(request.problem, request.group) in gpu.resident
+
+    def note_resident(self, gpu_index: int, request: Request) -> None:
+        """Record that a group's A tiles now live on ``gpu_index``."""
+        if request.group is None or request.problem.routine.name != "gemm":
+            return
+        gpu = self.gpus[gpu_index]
+        key = _residency_key(request.problem, request.group)
+        a = request.problem.operands[0]
+        gpu.resident[key] = a.elements() * request.problem.elem_size
+        gpu.resident.move_to_end(key)
+        while (sum(gpu.resident.values()) > self._cache_capacity
+               and len(gpu.resident) > 1):
+            gpu.resident.popitem(last=False)
+
+    # -- placement -----------------------------------------------------
+
+    def _gpu_candidate(self, gpu: GpuState, request: Request,
+                       now: float) -> Placement:
+        hit = self._is_resident(gpu, request)
+        problem = (_with_device_a(request.problem) if hit
+                   else request.problem)
+        choice = self.predict_gpu(problem)
+        service = choice.predicted_time
+        return Placement(
+            worker=gpu_worker(gpu.index),
+            tile=choice.t_best,
+            predicted_seconds=service,
+            predicted_completion=now + gpu.backlog(now) + service,
+            locality_hit=hit,
+        )
+
+    def place(self, request: Request, now: float) -> Placement:
+        """Choose a worker for ``request`` under the configured policy."""
+        if self.policy == "round_robin":
+            gpu = self.gpus[self._rr_next % len(self.gpus)]
+            self._rr_next += 1
+            best = self._gpu_candidate(gpu, request, now)
+        else:
+            candidates = [self._gpu_candidate(g, request, now)
+                          for g in self.gpus]
+            best = min(candidates,
+                       key=lambda p: (p.predicted_completion, p.worker))
+        if self.host_offload:
+            host_service = self.predict_host(request.problem)
+            if host_service is not None:
+                host_completion = now + self.host.backlog(now) + host_service
+                if host_completion < best.predicted_completion:
+                    return Placement(
+                        worker=HOST_WORKER, tile=None,
+                        predicted_seconds=host_service,
+                        predicted_completion=host_completion,
+                    )
+        return best
+
+    # -- admission -----------------------------------------------------
+
+    def admit(self, request: Request, placement: Placement) -> str:
+        """Admission decision: "accept", "shed", or "downgrade".
+
+        A request whose *admission-time* predicted completion already
+        exceeds its deadline cannot meet its SLO; serving it anyway
+        only delays requests that still can.
+        """
+        if self.admission == "none" or request.deadline is None:
+            return "accept"
+        if placement.predicted_completion <= request.deadline:
+            return "accept"
+        if self.admission == "shed":
+            return "shed"
+        request.downgraded = True
+        request.deadline = None
+        request.priority = min(request.priority, 0)
+        return "downgrade"
+
+    # -- state lookups used by the server ------------------------------
+
+    def state_for(self, worker: str):
+        if worker == HOST_WORKER:
+            return self.host
+        if worker.startswith("gpu"):
+            index = int(worker[3:])
+            if 0 <= index < len(self.gpus):
+                return self.gpus[index]
+        raise ServeError(f"unknown worker {worker!r}")
+
+    def queue_depth(self) -> int:
+        return (sum(len(g.queue) for g in self.gpus)
+                + len(self.host.queue))
+
+
+# ---------------------------------------------------------------------------
+# batching compatibility
+# ---------------------------------------------------------------------------
+
+def batchable(head: Request, candidate: Request, max_flops: float) -> bool:
+    """Can ``candidate`` be coalesced into a batch led by ``head``?
+
+    Compatible means same routine/dtype/locations, both sub-``max_flops``
+    and, for gemm, the same (M, K) and weight group so the batch is one
+    wider gemm against the shared A.  Axpy batches concatenate.
+    """
+    hp, cp = head.problem, candidate.problem
+    if hp.routine.name != cp.routine.name or hp.dtype != cp.dtype:
+        return False
+    if [op.loc for op in hp.operands] != [op.loc for op in cp.operands]:
+        return False
+    if hp.flops() > max_flops or cp.flops() > max_flops:
+        return False
+    if hp.routine.name == "gemm":
+        if head.group is None or head.group != candidate.group:
+            return False
+        return (hp.dims[0], hp.dims[2]) == (cp.dims[0], cp.dims[2])
+    if hp.routine.name == "axpy":
+        return True
+    return False
+
+
+def coalesce(members: List[Request]) -> CoCoProblem:
+    """The combined problem of a compatible batch.
+
+    gemm batches concatenate along N (one wider multiply against the
+    shared A); axpy batches concatenate the vectors.
+    """
+    head = members[0].problem
+    if len(members) == 1:
+        return head
+    if head.routine.name == "gemm":
+        m, _, k = head.dims
+        n_total = sum(r.problem.dims[1] for r in members)
+        locs = [op.loc for op in head.operands]
+        return gemm_problem(m, n_total, k, head.dtype, *locs)
+    if head.routine.name == "axpy":
+        n_total = sum(r.problem.dims[0] for r in members)
+        from ..core.params import axpy_problem
+        locs = [op.loc for op in head.operands]
+        return axpy_problem(n_total, head.dtype, *locs)
+    raise ServeError(f"cannot coalesce routine {head.routine.name!r}")

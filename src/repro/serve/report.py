@@ -1,0 +1,249 @@
+"""The versioned ``repro.serve/v1`` serving report.
+
+Shape (validated by :func:`validate_serve_json`):
+
+.. code-block:: text
+
+    {
+      "schema": "repro.serve/v1",
+      "context": {...},                     # caller-supplied (CLI args)
+      "report": {
+        "requests": {total, completed, shed, failed, downgraded,
+                     fallbacks, batched, slo: {with_deadline, met,
+                     missed, attainment}},
+        "throughput_rps": float, "makespan": float,
+        "latency": {n, mean, min, max, p50, p95, p99},
+        "wait": {...same...},
+        "prediction": {n, mean_abs_pct_error, p95_abs_pct_error} | null,
+        "workers": [{worker, busy_seconds, utilization, batches,
+                     requests, h2d_bytes, d2h_bytes, kernels,
+                     locality_hits}, ...],   # gpus then host
+      },
+      "metrics": {counters, gauges, histograms},
+    }
+
+Documents are emitted with ``sort_keys=True`` and a fixed float
+representation (Python's repr), so the same seed produces the same
+bytes — the property the determinism acceptance test pins.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional
+
+from ..errors import ReproError
+from ..experiments.metrics import latency_summary, percentiles
+from .request import RequestState
+from .server import ServeOutcome, WorkerStats
+
+SERVE_SCHEMA_VERSION = "repro.serve/v1"
+
+
+def _worker_dict(stats: WorkerStats, makespan: float) -> Dict[str, object]:
+    util = stats.busy_seconds / makespan if makespan > 0 else 0.0
+    return {
+        "worker": stats.worker,
+        "busy_seconds": stats.busy_seconds,
+        "utilization": util,
+        "batches": stats.batches,
+        "requests": stats.requests,
+        "h2d_bytes": stats.h2d_bytes,
+        "d2h_bytes": stats.d2h_bytes,
+        "kernels": stats.kernels,
+        "locality_hits": stats.locality_hits,
+    }
+
+
+def serve_report(outcome: ServeOutcome) -> Dict[str, object]:
+    """Aggregate one serving outcome into the report body."""
+    requests = outcome.requests
+    done = outcome.done_requests()
+    makespan = outcome.end_time
+
+    with_deadline = [r for r in requests if r.deadline is not None]
+    met = sum(1 for r in with_deadline if r.slo_met)
+    missed = sum(1 for r in with_deadline if r.slo_met is False)
+
+    latencies = [r.latency for r in done if r.latency is not None]
+    waits = [r.wait for r in done if r.wait is not None]
+
+    errors = []
+    for r in done:
+        if r.predicted_completion is not None and r.latency:
+            predicted_latency = r.predicted_completion - r.arrival
+            errors.append(100.0 * abs(predicted_latency - r.latency)
+                          / r.latency)
+    prediction: Optional[Dict[str, object]] = None
+    if errors:
+        prediction = {
+            "n": len(errors),
+            "mean_abs_pct_error": sum(errors) / len(errors),
+            "p95_abs_pct_error": percentiles(errors, (95,))[0],
+        }
+
+    workers: List[Dict[str, object]] = [
+        _worker_dict(s, makespan) for s in outcome.gpu_stats
+    ]
+    workers.append(_worker_dict(outcome.host_stats, makespan))
+
+    batch_sizes: Dict[int, int] = {}
+    for r in done:
+        if r.batch_id is not None:
+            batch_sizes[r.batch_id] = batch_sizes.get(r.batch_id, 0) + 1
+    coalesced = sum(1 for r in done
+                    if r.batch_id is not None
+                    and batch_sizes[r.batch_id] > 1)
+
+    return {
+        "requests": {
+            "total": len(requests),
+            "completed": len(done),
+            "shed": sum(1 for r in requests
+                        if r.state is RequestState.SHED),
+            "failed": sum(1 for r in requests
+                          if r.state is RequestState.FAILED),
+            "downgraded": sum(1 for r in requests if r.downgraded),
+            "fallbacks": sum(1 for r in requests if r.fallback),
+            "batched": coalesced,
+            "batches": outcome.n_batches,
+            "slo": {
+                "with_deadline": len(with_deadline),
+                "met": met,
+                "missed": missed,
+                "attainment": (met / len(with_deadline)
+                               if with_deadline else 1.0),
+            },
+        },
+        "throughput_rps": len(done) / makespan if makespan > 0 else 0.0,
+        "makespan": makespan,
+        "latency": latency_summary(latencies) if latencies else None,
+        "wait": latency_summary(waits) if waits else None,
+        "prediction": prediction,
+        "workers": workers,
+    }
+
+
+def serve_document(
+    outcome: ServeOutcome,
+    metrics: Optional[object] = None,
+    context: Optional[Dict[str, object]] = None,
+) -> Dict[str, object]:
+    """The JSON document ``repro serve`` emits (schema v1)."""
+    doc: Dict[str, object] = {
+        "schema": SERVE_SCHEMA_VERSION,
+        "context": dict(context or {}),
+        "report": serve_report(outcome),
+        "metrics": (metrics.as_dict() if metrics is not None
+                    else {"counters": {}, "gauges": {}, "histograms": {}}),
+    }
+    validate_serve_json(doc)
+    return doc
+
+
+def dump_serve_document(doc: Dict[str, object]) -> str:
+    """Canonical byte-stable rendering of a serve document."""
+    return json.dumps(doc, indent=2, sort_keys=True) + "\n"
+
+
+# ---------------------------------------------------------------------------
+# schema validation (mirrors obs/profiler.py: JSON-path error messages)
+# ---------------------------------------------------------------------------
+
+def _fail(path: str, message: str) -> None:
+    raise ReproError(f"invalid serve document at {path}: {message}")
+
+
+def _expect(doc: dict, path: str, key: str, types, allow_none=False):
+    if key not in doc:
+        _fail(f"{path}.{key}", "missing required field")
+    value = doc[key]
+    if value is None:
+        if allow_none:
+            return None
+        _fail(f"{path}.{key}", "must not be null")
+    if isinstance(value, bool) or not isinstance(value, types):
+        names = getattr(types, "__name__", None) or "/".join(
+            t.__name__ for t in types)
+        _fail(f"{path}.{key}", f"expected {names}, got {type(value).__name__}")
+    return value
+
+
+def _expect_number(doc: dict, path: str, key: str, allow_none=False):
+    return _expect(doc, path, key, (int, float), allow_none=allow_none)
+
+
+def _expect_summary(parent: dict, path: str, key: str) -> None:
+    summary = _expect(parent, path, key, dict, allow_none=True)
+    if summary is None:
+        return
+    spath = f"{path}.{key}"
+    _expect(summary, spath, "n", int)
+    for field in ("mean", "min", "max", "p50", "p95", "p99"):
+        _expect_number(summary, spath, field)
+
+
+def validate_serve_json(doc: object) -> None:
+    """Check a serve document against schema v1; raise on mismatch.
+
+    The error message carries the JSON path of the first offending
+    field, so the CI smoke job reports precisely what drifted.
+    """
+    if not isinstance(doc, dict):
+        _fail("$", f"expected an object, got {type(doc).__name__}")
+    schema = _expect(doc, "$", "schema", str)
+    if schema != SERVE_SCHEMA_VERSION:
+        _fail("$.schema",
+              f"expected {SERVE_SCHEMA_VERSION!r}, got {schema!r}")
+    _expect(doc, "$", "context", dict)
+
+    report = _expect(doc, "$", "report", dict)
+    requests = _expect(report, "$.report", "requests", dict)
+    for key in ("total", "completed", "shed", "failed", "downgraded",
+                "fallbacks", "batched", "batches"):
+        value = _expect(requests, "$.report.requests", key, int)
+        if value < 0:
+            _fail(f"$.report.requests.{key}", f"must be >= 0, got {value}")
+    slo = _expect(requests, "$.report.requests", "slo", dict)
+    for key in ("with_deadline", "met", "missed"):
+        _expect(slo, "$.report.requests.slo", key, int)
+    attainment = _expect_number(slo, "$.report.requests.slo", "attainment")
+    if not 0.0 <= attainment <= 1.0:
+        _fail("$.report.requests.slo.attainment",
+              f"must be in [0, 1], got {attainment}")
+    if slo["met"] + slo["missed"] > slo["with_deadline"]:
+        _fail("$.report.requests.slo", "met + missed exceeds with_deadline")
+
+    for key in ("throughput_rps", "makespan"):
+        value = _expect_number(report, "$.report", key)
+        if value < 0:
+            _fail(f"$.report.{key}", f"must be >= 0, got {value}")
+    _expect_summary(report, "$.report", "latency")
+    _expect_summary(report, "$.report", "wait")
+    prediction = _expect(report, "$.report", "prediction", dict,
+                         allow_none=True)
+    if prediction is not None:
+        _expect(prediction, "$.report.prediction", "n", int)
+        for key in ("mean_abs_pct_error", "p95_abs_pct_error"):
+            _expect_number(prediction, "$.report.prediction", key)
+
+    workers = _expect(report, "$.report", "workers", list)
+    if not workers:
+        _fail("$.report.workers", "must list at least one worker")
+    for i, worker in enumerate(workers):
+        path = f"$.report.workers[{i}]"
+        if not isinstance(worker, dict):
+            _fail(path, "expected an object")
+        _expect(worker, path, "worker", str)
+        for key in ("busy_seconds", "utilization"):
+            _expect_number(worker, path, key)
+        util = worker["utilization"]
+        if not 0.0 <= util <= 1.0 + 1e-9:
+            _fail(f"{path}.utilization", f"must be in [0, 1], got {util}")
+        for key in ("batches", "requests", "h2d_bytes", "d2h_bytes",
+                    "kernels", "locality_hits"):
+            _expect(worker, path, key, int)
+
+    metrics = _expect(doc, "$", "metrics", dict)
+    for key in ("counters", "gauges", "histograms"):
+        _expect(metrics, "$.metrics", key, dict)

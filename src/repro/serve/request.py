@@ -1,0 +1,182 @@
+"""Requests and the priority/deadline-aware request queue.
+
+A :class:`Request` wraps one BLAS problem with serving metadata: when
+it arrived, how urgent it is (integer priority, larger = more urgent),
+an optional absolute completion deadline, and an optional *group* key
+naming shared input data (for gemm, the A operand — the "weights" of an
+inference-style workload; requests in one group may be batched and
+benefit from data-locality placement).
+
+:class:`RequestQueue` orders pending work EDF-within-priority: the
+highest priority class is served first, and inside a class the request
+with the earliest deadline (deadline-less requests last), breaking
+ties by arrival time and then request id, so queue order — and with it
+the whole serving simulation — is fully deterministic.
+"""
+
+from __future__ import annotations
+
+import enum
+import heapq
+import math
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Tuple
+
+from ..core.params import CoCoProblem
+from ..errors import ReproError
+
+
+class ServeError(ReproError):
+    """The serving layer was driven into an invalid state."""
+
+
+class RequestState(enum.Enum):
+    """Lifecycle of a request inside the server."""
+
+    CREATED = "created"      #: generated, not yet offered to the server
+    QUEUED = "queued"        #: admitted and waiting for a worker
+    RUNNING = "running"      #: dispatched to a worker, executing
+    DONE = "done"            #: completed successfully
+    SHED = "shed"            #: rejected by admission control
+    FAILED = "failed"        #: execution failed (fault retry exhausted)
+
+
+@dataclass
+class Request:
+    """One BLAS invocation travelling through the serving layer."""
+
+    req_id: int
+    problem: CoCoProblem
+    arrival: float
+    priority: int = 0
+    #: Absolute simulated-time deadline; None = best effort.
+    deadline: Optional[float] = None
+    #: Shared-input key (gemm A operand / model weights); None = unique.
+    group: Optional[str] = None
+
+    # -- lifecycle, filled in by the server ----------------------------
+    state: RequestState = RequestState.CREATED
+    enqueue_t: Optional[float] = None
+    dispatch_t: Optional[float] = None
+    first_t: Optional[float] = None
+    completion_t: Optional[float] = None
+    worker: Optional[str] = None
+    #: Admission-time prediction of the service time on the chosen
+    #: worker and of the absolute completion time (incl. backlog).
+    predicted_seconds: Optional[float] = None
+    predicted_completion: Optional[float] = None
+    #: Achieved service time of the (possibly batched) execution.
+    service_seconds: Optional[float] = None
+    batch_id: Optional[int] = None
+    downgraded: bool = False
+    #: True when the request was re-served on the host after a failed
+    #: GPU attempt (the serving analogue of the PR-1 host fallback).
+    fallback: bool = False
+    #: Device event stream of the execution (trace mode only).
+    trace_events: Optional[list] = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.arrival < 0:
+            raise ServeError(f"negative arrival time: {self.arrival}")
+        if self.deadline is not None and self.deadline < self.arrival:
+            raise ServeError(
+                f"request {self.req_id}: deadline {self.deadline} before "
+                f"arrival {self.arrival}")
+
+    # ------------------------------------------------------------------
+
+    @property
+    def latency(self) -> Optional[float]:
+        """Arrival-to-completion time (None until completed)."""
+        if self.completion_t is None:
+            return None
+        return self.completion_t - self.arrival
+
+    @property
+    def wait(self) -> Optional[float]:
+        """Arrival-to-dispatch queueing delay (None until dispatched)."""
+        if self.dispatch_t is None:
+            return None
+        return self.dispatch_t - self.arrival
+
+    @property
+    def slo_met(self) -> Optional[bool]:
+        """Did the request finish by its deadline?  None = no deadline
+        or not finished."""
+        if self.deadline is None or self.completion_t is None:
+            return None
+        return self.completion_t <= self.deadline
+
+    def queue_key(self) -> Tuple[float, float, float, int]:
+        """EDF-within-priority ordering key (smaller = served first)."""
+        deadline = self.deadline if self.deadline is not None else math.inf
+        return (-self.priority, deadline, self.arrival, self.req_id)
+
+    def describe(self) -> str:
+        extras = [f"prio={self.priority}"]
+        if self.deadline is not None:
+            extras.append(f"ddl={self.deadline * 1e3:.2f}ms")
+        if self.group is not None:
+            extras.append(f"group={self.group}")
+        return (f"req#{self.req_id} {self.problem.describe()} "
+                f"@{self.arrival * 1e3:.2f}ms ({', '.join(extras)})")
+
+
+class RequestQueue:
+    """EDF-within-priority queue with deterministic ordering.
+
+    Backed by a heap with lazy deletion, so :meth:`remove` (used by the
+    dispatcher's batch coalescing) is O(1) and :meth:`pop` amortizes the
+    cleanup.  Iteration yields live requests in queue order without
+    disturbing the heap.
+    """
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[Tuple[float, float, float, int], int, Request]] = []
+        self._removed: set = set()
+        self._live = 0
+
+    def __len__(self) -> int:
+        return self._live
+
+    def __bool__(self) -> bool:
+        return self._live > 0
+
+    def push(self, request: Request) -> None:
+        heapq.heappush(self._heap, (request.queue_key(), request.req_id,
+                                    request))
+        self._live += 1
+
+    def peek(self) -> Optional[Request]:
+        self._prune()
+        return self._heap[0][2] if self._heap else None
+
+    def pop(self) -> Request:
+        self._prune()
+        if not self._heap:
+            raise ServeError("pop from an empty request queue")
+        _key, _rid, request = heapq.heappop(self._heap)
+        self._live -= 1
+        return request
+
+    def remove(self, request: Request) -> None:
+        """Lazily remove a specific queued request (for coalescing)."""
+        if request.req_id in self._removed:
+            raise ServeError(f"request {request.req_id} removed twice")
+        self._removed.add(request.req_id)
+        self._live -= 1
+
+    def _prune(self) -> None:
+        while self._heap and self._heap[0][1] in self._removed:
+            _key, rid, _req = heapq.heappop(self._heap)
+            self._removed.discard(rid)
+
+    def __iter__(self) -> Iterator[Request]:
+        """Live requests in queue order (non-destructive)."""
+        for _key, rid, request in sorted(self._heap):
+            if rid not in self._removed:
+                yield request
+
+    def total_predicted(self) -> float:
+        """Sum of admission-time service predictions of queued work."""
+        return sum(r.predicted_seconds or 0.0 for r in self)

@@ -1,0 +1,443 @@
+"""The BLAS serving engine: arrivals, dispatch, execution, recovery.
+
+:class:`BlasServer` runs an open-loop workload against an N-GPU
+simulated machine on **one shared simulator clock**.  Arrivals are
+pre-scheduled events; each admitted request is queued on the worker the
+:class:`~repro.serve.dispatcher.Dispatcher` chose; an idle worker pops
+its queue head (EDF-within-priority), coalesces compatible small
+requests into one batch, and executes it through the real tile
+scheduler pipeline on a fresh :class:`~repro.sim.device.GpuDevice`
+sharing the server clock.  Completion is detected with
+``Operation.on_done`` on the last op of each pipeline stream — no
+polling, no synchronize.
+
+A fresh device per batch is the repo's isolation idiom (see
+``CoCoPeLiaLibrary._next_device``) and doubles as the fault boundary:
+when injected faults exhaust their retry budget the pipeline wedges and
+never completes, so every batch carries a watchdog event at a large
+multiple of its predicted service time.  If the watchdog fires first,
+the batch's device is abandoned, its gemm members are re-dispatched to
+the host CPU worker (the serving analogue of the PR-1 host fallback),
+and the GPU moves on.
+
+All simulated work, including the host CPU worker, is perturbed by the
+machine's seeded noise model, so two serves of the same workload on the
+same config are event-for-event identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..backend.cublas import CublasContext
+from ..core.instantiation import MachineModels
+from ..core.params import CoCoProblem
+from ..runtime.routines import _host_operand
+from ..runtime.scheduler import AxpyTileScheduler, GemmTileScheduler
+from ..sim.device import GpuDevice
+from ..sim.engine import Simulator
+from ..sim.link import Direction
+from ..sim.machine import MachineConfig
+from ..sim.noise import NoiseModel
+from .dispatcher import (
+    ADMISSION_MODES,
+    HOST_WORKER,
+    PLACEMENT_POLICIES,
+    Dispatcher,
+    GpuState,
+    Placement,
+    _with_device_a,
+    batchable,
+    coalesce,
+    gpu_worker,
+)
+from .request import Request, RequestState, ServeError
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Knobs of one serving run (all deterministic given ``seed``)."""
+
+    n_gpus: int = 4
+    placement: str = "model"          #: see PLACEMENT_POLICIES
+    admission: str = "shed"           #: see ADMISSION_MODES
+    model: str = "auto"               #: prediction model for placement
+    batching: bool = True
+    batch_max: int = 4                #: max requests coalesced per batch
+    batch_small_flops: float = 4.0e9  #: only sub-this-flops requests batch
+    host_offload: bool = True         #: route sub-crossover gemms to CPU
+    locality: bool = True             #: weight-cache-aware placement
+    weight_cache_fraction: float = 0.5
+    #: Watchdog: a batch is declared wedged when it runs longer than
+    #: ``predicted * timeout_factor + timeout_floor`` simulated seconds.
+    timeout_factor: float = 50.0
+    timeout_floor: float = 0.05
+    seed: int = 0
+    trace: bool = False               #: record per-batch device traces
+
+    def __post_init__(self) -> None:
+        if self.placement not in PLACEMENT_POLICIES:
+            raise ServeError(f"unknown placement policy {self.placement!r}")
+        if self.admission not in ADMISSION_MODES:
+            raise ServeError(f"unknown admission mode {self.admission!r}")
+        if self.batch_max < 1:
+            raise ServeError(f"batch_max must be >= 1: {self.batch_max}")
+        if self.timeout_factor <= 1.0:
+            raise ServeError(
+                f"timeout_factor must exceed 1: {self.timeout_factor}")
+
+
+@dataclass
+class WorkerStats:
+    """Per-worker accounting for the serve report."""
+
+    worker: str
+    busy_seconds: float = 0.0
+    batches: int = 0
+    requests: int = 0
+    h2d_bytes: int = 0
+    d2h_bytes: int = 0
+    kernels: int = 0
+    locality_hits: int = 0
+
+
+@dataclass
+class ServeOutcome:
+    """Everything one serving run produced."""
+
+    requests: List[Request]
+    config: ServerConfig
+    gpu_stats: List[WorkerStats]
+    host_stats: WorkerStats
+    n_batches: int = 0
+    end_time: float = 0.0
+    #: Per-GPU list of per-batch device event streams (trace mode).
+    #: Each batch ran on a fresh device, so each inner stream is a
+    #: self-contained trace that verifies on its own; one flat splice
+    #: would alias tile tags across batches.
+    gpu_traces: List[List[list]] = field(default_factory=list)
+
+    def done_requests(self) -> List[Request]:
+        return [r for r in self.requests if r.state is RequestState.DONE]
+
+
+class _Batch:
+    """One in-flight unit of execution on a worker."""
+
+    __slots__ = ("batch_id", "members", "problem", "worker", "t0",
+                 "predicted", "device", "scheduler", "watchdog",
+                 "pending_ops", "settled", "locality_hit")
+
+    def __init__(self, batch_id: int, members: List[Request],
+                 problem: CoCoProblem, worker: str, t0: float,
+                 predicted: float) -> None:
+        self.batch_id = batch_id
+        self.members = members
+        self.problem = problem
+        self.worker = worker
+        self.t0 = t0
+        self.predicted = predicted
+        self.device = None
+        self.scheduler = None
+        self.watchdog = None
+        self.pending_ops = 0
+        self.settled = False
+        self.locality_hit = False
+
+
+class BlasServer:
+    """Serve a request list on an N-GPU simulated machine."""
+
+    def __init__(self, machine: MachineConfig, models: MachineModels,
+                 config: Optional[ServerConfig] = None,
+                 metrics=None) -> None:
+        self.machine = machine
+        self.models = models
+        self.config = config if config is not None else ServerConfig()
+        self.metrics = metrics
+        self.sim = Simulator()
+        self.dispatcher = Dispatcher(
+            machine, models, self.config.n_gpus,
+            model=self.config.model, policy=self.config.placement,
+            admission=self.config.admission, locality=self.config.locality,
+            host_offload=self.config.host_offload,
+            weight_cache_fraction=self.config.weight_cache_fraction,
+        )
+        #: Host CPU service noise; its own substream so the host worker
+        #: never perturbs the GPU devices' draws.
+        self._host_noise = NoiseModel(seed=self.config.seed + 7919,
+                                      sigma=machine.noise_sigma)
+        self._placements: Dict[int, Placement] = {}
+        self._next_batch = 0
+        self._stats = [WorkerStats(gpu_worker(i))
+                       for i in range(self.config.n_gpus)]
+        self._host_stats = WorkerStats(HOST_WORKER)
+        self._gpu_traces: List[List[list]] = [
+            [] for _ in range(self.config.n_gpus)]
+        self._served = False
+
+    # -- public entry ---------------------------------------------------
+
+    def serve(self, requests: List[Request]) -> ServeOutcome:
+        """Run the workload to completion and return the outcome."""
+        if self._served:
+            raise ServeError("a BlasServer instance serves exactly once")
+        self._served = True
+        self._requests = sorted(requests, key=lambda r: (r.arrival, r.req_id))
+        for request in self._requests:
+            self.sim.schedule_at(request.arrival,
+                                 lambda r=request: self._on_arrival(r))
+        self.sim.run()
+        end = max((r.completion_t for r in self._requests
+                   if r.completion_t is not None), default=0.0)
+        return ServeOutcome(
+            requests=self._requests,
+            config=self.config,
+            gpu_stats=self._stats,
+            host_stats=self._host_stats,
+            n_batches=self._next_batch,
+            end_time=end,
+            gpu_traces=self._gpu_traces,
+        )
+
+    # -- metrics helpers ------------------------------------------------
+
+    def _count(self, name: str, amount: float = 1.0) -> None:
+        if self.metrics is not None:
+            self.metrics.counter(name).inc(amount)
+
+    def _observe(self, name: str, value: float) -> None:
+        if self.metrics is not None:
+            self.metrics.histogram(name).observe(value)
+
+    def _gauge_depth(self) -> None:
+        if self.metrics is not None:
+            self.metrics.gauge("serve.queue_depth").set(
+                self.dispatcher.queue_depth())
+
+    # -- arrival & admission --------------------------------------------
+
+    def _on_arrival(self, request: Request) -> None:
+        now = self.sim.now
+        self._count("serve.requests")
+        placement = self.dispatcher.place(request, now)
+        decision = self.dispatcher.admit(request, placement)
+        request.enqueue_t = now
+        if decision == "shed":
+            request.state = RequestState.SHED
+            self._count("serve.shed")
+            return
+        if decision == "downgrade":
+            self._count("serve.downgraded")
+        self._count("serve.admitted")
+        request.state = RequestState.QUEUED
+        request.worker = placement.worker
+        request.predicted_seconds = placement.predicted_seconds
+        request.predicted_completion = placement.predicted_completion
+        self._placements[request.req_id] = placement
+        self.dispatcher.state_for(placement.worker).queue.push(request)
+        self._gauge_depth()
+        self._maybe_dispatch(placement.worker)
+
+    # -- dispatch -------------------------------------------------------
+
+    def _maybe_dispatch(self, worker: str) -> None:
+        state = self.dispatcher.state_for(worker)
+        if state.busy or not state.queue:
+            return
+        now = self.sim.now
+        head = state.queue.pop()
+        members = [head]
+        if (self.config.batching and worker != HOST_WORKER
+                and head.problem.flops() <= self.config.batch_small_flops):
+            for other in list(state.queue):
+                if len(members) >= self.config.batch_max:
+                    break
+                if batchable(head, other, self.config.batch_small_flops):
+                    state.queue.remove(other)
+                    members.append(other)
+        problem = coalesce(members) if len(members) > 1 else head.problem
+        batch = _Batch(self._next_batch, members, problem, worker, now, 0.0)
+        self._next_batch += 1
+        for member in members:
+            member.state = RequestState.RUNNING
+            member.dispatch_t = now
+            member.worker = worker
+            member.batch_id = batch.batch_id
+            self._observe("serve.wait_seconds", member.wait or 0.0)
+        if len(members) > 1:
+            self._count("serve.batches")
+            self._count("serve.batched_requests", len(members))
+        self._gauge_depth()
+        if worker == HOST_WORKER:
+            self._run_on_host(batch)
+        else:
+            self._run_on_gpu(state, batch)
+
+    # -- GPU execution --------------------------------------------------
+
+    def _run_on_gpu(self, state: GpuState, batch: _Batch) -> None:
+        cfg = self.config
+        head = batch.members[0]
+        hit = self.dispatcher._is_resident(state, head)
+        problem = batch.problem
+        if hit:
+            problem = _with_device_a(problem)
+            batch.locality_hit = True
+            self._stats[state.index].locality_hits += len(batch.members)
+        choice = self.dispatcher.predict_gpu(problem)
+        batch.predicted = choice.predicted_time
+        batch.problem = problem
+
+        device = GpuDevice(
+            self.machine, sim=self.sim,
+            seed=cfg.seed + 37 * head.req_id + state.index,
+            trace=cfg.trace, metrics=self.metrics,
+        )
+        ctx = CublasContext(device)
+        hosts = {op.name: _host_operand(problem, op.name, None)
+                 for op in problem.operands}
+        if problem.routine.name == "gemm":
+            scheduler = GemmTileScheduler(ctx, problem, choice.t_best, hosts)
+        elif problem.routine.name == "axpy":
+            scheduler = AxpyTileScheduler(ctx, problem, choice.t_best, hosts)
+        else:
+            raise ServeError(
+                f"serving does not support routine {problem.routine.name!r}")
+        batch.device = device
+        batch.scheduler = scheduler
+
+        state.busy = True
+        state.running_pred_end = self.sim.now + batch.predicted
+        scheduler._issue()
+
+        last_ops = [s.last_op for s in (scheduler.s_h2d, scheduler.s_exec,
+                                        scheduler.s_d2h)
+                    if s.last_op is not None]
+        batch.pending_ops = len(last_ops)
+        if not last_ops:
+            self._finish_gpu_batch(state, batch)
+            return
+        for op in last_ops:
+            op.on_done(lambda s=state, b=batch: self._on_stream_done(s, b))
+        deadline = batch.predicted * cfg.timeout_factor + cfg.timeout_floor
+        batch.watchdog = self.sim.schedule(
+            deadline, lambda s=state, b=batch: self._on_timeout(s, b))
+
+    def _on_stream_done(self, state: GpuState, batch: _Batch) -> None:
+        batch.pending_ops -= 1
+        if batch.pending_ops == 0 and not batch.settled:
+            self._finish_gpu_batch(state, batch)
+
+    def _finish_gpu_batch(self, state: GpuState, batch: _Batch) -> None:
+        batch.settled = True
+        if batch.watchdog is not None:
+            batch.watchdog.cancel()
+        end = self.sim.now
+        service = end - batch.t0
+        device = batch.device
+        stats = self._stats[state.index]
+        stats.busy_seconds += service
+        stats.batches += 1
+        stats.requests += len(batch.members)
+        if device is not None:
+            stats.h2d_bytes += device.bytes_moved(Direction.H2D)
+            stats.d2h_bytes += device.bytes_moved(Direction.D2H)
+            stats.kernels += device.compute.kernels_run
+        events = (list(device.trace.events)
+                  if device is not None and device.trace is not None else None)
+        if events is not None:
+            self._gpu_traces[state.index].append(events)
+        for member in batch.members:
+            self._complete_request(member, end, service, events)
+        if batch.scheduler is not None:
+            batch.scheduler.release()
+        self.dispatcher.note_resident(state.index, batch.members[0])
+        state.busy = False
+        state.running_pred_end = 0.0
+        self._maybe_dispatch(gpu_worker(state.index))
+
+    def _on_timeout(self, state: GpuState, batch: _Batch) -> None:
+        """The batch wedged (fault retries exhausted): abandon & recover."""
+        if batch.settled:
+            return
+        batch.settled = True
+        end = self.sim.now
+        stats = self._stats[state.index]
+        stats.busy_seconds += end - batch.t0
+        stats.batches += 1
+        self._count("serve.timeouts")
+        failures = (len(batch.device._fault_failures)
+                    if batch.device is not None else 0)
+        self._count("serve.fault_failures", max(failures, 1))
+        for member in batch.members:
+            if (self.config.host_offload
+                    and self.dispatcher.predict_host(member.problem)
+                    is not None):
+                member.fallback = True
+                member.state = RequestState.QUEUED
+                member.worker = HOST_WORKER
+                member.predicted_seconds = self.dispatcher.predict_host(
+                    member.problem)
+                self._count("serve.host_fallbacks")
+                self.dispatcher.host.queue.push(member)
+            else:
+                member.state = RequestState.FAILED
+                self._count("serve.failed")
+        state.busy = False
+        state.running_pred_end = 0.0
+        self._gauge_depth()
+        self._maybe_dispatch(HOST_WORKER)
+        self._maybe_dispatch(gpu_worker(state.index))
+
+    # -- host execution -------------------------------------------------
+
+    def _run_on_host(self, batch: _Batch) -> None:
+        host = self.dispatcher.host
+        service = self.dispatcher.predict_host(batch.problem)
+        if service is None:
+            raise ServeError(
+                f"routine {batch.problem.routine.name!r} has no host path")
+        batch.predicted = service
+        service *= self._host_noise.duration_factor()
+        host.busy = True
+        host.running_pred_end = self.sim.now + service
+        for member in batch.members:
+            member.first_t = self.sim.now
+        self.sim.schedule(service,
+                          lambda b=batch, s=service: self._finish_host(b, s))
+
+    def _finish_host(self, batch: _Batch, service: float) -> None:
+        host = self.dispatcher.host
+        end = self.sim.now
+        self._host_stats.busy_seconds += service
+        self._host_stats.batches += 1
+        self._host_stats.requests += len(batch.members)
+        for member in batch.members:
+            self._complete_request(member, end, service, None)
+        host.busy = False
+        host.running_pred_end = 0.0
+        self._maybe_dispatch(HOST_WORKER)
+
+    # -- completion -----------------------------------------------------
+
+    def _complete_request(self, request: Request, end: float,
+                          service: float, events) -> None:
+        request.state = RequestState.DONE
+        request.completion_t = end
+        request.service_seconds = service
+        if events is not None:
+            request.trace_events = events
+            request.first_t = min(ev.start for ev in events)
+        elif request.first_t is None:
+            request.first_t = request.dispatch_t
+        self._count("serve.completed")
+        latency = request.latency or 0.0
+        self._observe("serve.latency_seconds", latency)
+        if request.predicted_completion is not None and latency > 0:
+            predicted_latency = request.predicted_completion - request.arrival
+            self._observe("serve.latency_prediction_error",
+                          abs(predicted_latency - latency) / latency)
+        if request.slo_met is False:
+            self._count("serve.slo_misses")

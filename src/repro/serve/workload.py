@@ -1,0 +1,189 @@
+"""Seeded open-loop workload generators for the serving layer.
+
+A workload is a list of :class:`~repro.serve.request.Request` objects
+with pre-drawn arrival times (open loop: arrivals do not react to the
+server).  Determinism follows the :mod:`repro.sim.noise` idiom — every
+random factor (arrival spacing, problem size, priority, deadline
+slack, group assignment) draws from its own ``default_rng([index,
+seed])`` substream, so e.g. changing the size mix never perturbs the
+arrival process.
+
+Problem sizes are drawn from the same tables as the experiment
+harness (:mod:`repro.experiments.workloads`), extended downward with
+sub-tile "small" gemms that exercise the dispatcher's batching and
+host-crossover paths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..core.params import CoCoProblem, axpy_problem, gemm_problem
+from ..experiments.workloads import _DAXPY_SIZES, _GEMM_SQUARES, _check_scale
+from .request import Request, ServeError
+
+ARRIVAL_KINDS = ("poisson", "bursty")
+
+#: Substream index per random factor (see sim/noise.py).
+_FACTOR_STREAMS = {
+    "arrival": 0,
+    "size": 1,
+    "priority": 2,
+    "deadline": 3,
+    "group": 4,
+    "routine": 5,
+}
+
+#: Reference rates used to convert a problem into a deadline budget:
+#: a deadline is ``arrival + slack * t_ref`` with
+#: ``t_ref = flops / _REF_FLOPS + bytes / _REF_BYTES_PER_S`` — a crude
+#: single-GPU service-time scale, deliberately model-free so deadlines
+#: do not depend on the deployed model database.
+_REF_FLOPS = 1.0e12
+_REF_BYTES_PER_S = 5.0e9
+
+
+def reference_time(problem: CoCoProblem) -> float:
+    """Model-free service-time scale used for deadline budgets."""
+    return (problem.flops() / _REF_FLOPS
+            + problem.total_bytes() / _REF_BYTES_PER_S)
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Everything that determines a generated workload.
+
+    Two specs that compare equal generate identical request lists.
+    """
+
+    arrival: str = "poisson"         #: "poisson" | "bursty"
+    rate: float = 50.0               #: mean arrival rate, requests/s
+    n_requests: int = 64
+    scale: str = "tiny"              #: size-table scale (tiny/quick/paper)
+    seed: int = 0
+    axpy_fraction: float = 0.2       #: fraction of axpy (vs gemm) requests
+    small_fraction: float = 0.4      #: fraction of gemms drawn sub-tile
+    n_groups: int = 4                #: weight-sharing groups for small gemms
+    n_priorities: int = 2            #: uniform priority levels [0, n)
+    deadline_fraction: float = 0.75  #: fraction of requests with a deadline
+    slack_lo: float = 2.0            #: deadline slack ~ U[lo, hi] * t_ref
+    slack_hi: float = 8.0
+    burst_size: int = 8              #: requests per burst ("bursty" only)
+    burst_spread: float = 0.02       #: intra-burst spacing / inter-burst gap
+
+    def __post_init__(self) -> None:
+        if self.arrival not in ARRIVAL_KINDS:
+            raise ServeError(
+                f"unknown arrival process {self.arrival!r}; "
+                f"valid: {ARRIVAL_KINDS}")
+        _check_scale(self.scale)
+        if self.rate <= 0:
+            raise ServeError(f"non-positive arrival rate: {self.rate}")
+        if self.n_requests <= 0:
+            raise ServeError(f"non-positive request count: {self.n_requests}")
+        if not 0.0 <= self.axpy_fraction <= 1.0:
+            raise ServeError(f"axpy_fraction outside [0,1]: {self.axpy_fraction}")
+        if self.slack_lo > self.slack_hi:
+            raise ServeError(
+                f"slack_lo {self.slack_lo} > slack_hi {self.slack_hi}")
+        if self.burst_size <= 0:
+            raise ServeError(f"non-positive burst size: {self.burst_size}")
+
+
+def _substreams(seed: int):
+    return {name: np.random.default_rng([index, seed])
+            for name, index in _FACTOR_STREAMS.items()}
+
+
+def _arrival_times(spec: WorkloadSpec, rng) -> List[float]:
+    """Pre-drawn arrival times, sorted and starting after t=0."""
+    times: List[float] = []
+    t = 0.0
+    if spec.arrival == "poisson":
+        for _ in range(spec.n_requests):
+            t += float(rng.exponential(1.0 / spec.rate))
+            times.append(t)
+    else:  # bursty: tight clusters separated by compensating gaps
+        gap_mean = spec.burst_size / spec.rate
+        intra_mean = spec.burst_spread * gap_mean
+        emitted = 0
+        while emitted < spec.n_requests:
+            t += float(rng.exponential(gap_mean))
+            burst_t = t
+            for _ in range(min(spec.burst_size, spec.n_requests - emitted)):
+                burst_t += float(rng.exponential(intra_mean))
+                times.append(burst_t)
+                emitted += 1
+    return times
+
+
+def _size_pools(spec: WorkloadSpec):
+    """(large gemm dims, small gemm dims, axpy sizes) for the scale."""
+    squares = _GEMM_SQUARES[spec.scale]
+    large = [(d, d, d) for d in squares]
+    small = []
+    for d in squares:
+        for frac in (8, 4):
+            # Floor at the smallest deployed tile size so even tiny-scale
+            # small problems have a benchmarked candidate tile.
+            s = max(d // frac, 256)
+            small.append((s, s, s))
+    small = sorted(set(small))
+    return large, small, list(_DAXPY_SIZES[spec.scale])
+
+
+def generate_workload(spec: WorkloadSpec) -> List[Request]:
+    """Generate the request list for ``spec`` (sorted by arrival)."""
+    rngs = _substreams(spec.seed)
+    arrivals = _arrival_times(spec, rngs["arrival"])
+    large, small, axpy_sizes = _size_pools(spec)
+
+    requests: List[Request] = []
+    for req_id, arrival in enumerate(arrivals):
+        is_axpy = float(rngs["routine"].random()) < spec.axpy_fraction
+        group: Optional[str] = None
+        if is_axpy:
+            n = int(rngs["size"].choice(len(axpy_sizes)))
+            problem = axpy_problem(axpy_sizes[n], np.float64)
+        else:
+            if float(rngs["size"].random()) < spec.small_fraction:
+                dims = small[int(rngs["size"].choice(len(small)))]
+                # Small gemms share weights: the A operand is a group's
+                # "model", enabling batching and locality-aware placement.
+                group = f"g{int(rngs['group'].integers(spec.n_groups))}"
+            else:
+                dims = large[int(rngs["size"].choice(len(large)))]
+            problem = gemm_problem(*dims, np.float64)
+
+        priority = int(rngs["priority"].integers(spec.n_priorities))
+        deadline: Optional[float] = None
+        if float(rngs["deadline"].random()) < spec.deadline_fraction:
+            slack = float(rngs["deadline"].uniform(spec.slack_lo,
+                                                   spec.slack_hi))
+            deadline = arrival + slack * reference_time(problem)
+
+        requests.append(Request(req_id=req_id, problem=problem,
+                                arrival=arrival, priority=priority,
+                                deadline=deadline, group=group))
+    return requests
+
+
+def spec_as_dict(spec: WorkloadSpec) -> dict:
+    """JSON-ready description of a spec (for the serve report)."""
+    return {
+        "arrival": spec.arrival,
+        "rate": spec.rate,
+        "n_requests": spec.n_requests,
+        "scale": spec.scale,
+        "seed": spec.seed,
+        "axpy_fraction": spec.axpy_fraction,
+        "small_fraction": spec.small_fraction,
+        "n_groups": spec.n_groups,
+        "n_priorities": spec.n_priorities,
+        "deadline_fraction": spec.deadline_fraction,
+        "slack": [spec.slack_lo, spec.slack_hi],
+        "burst_size": spec.burst_size,
+    }

@@ -54,17 +54,18 @@ def check_trace():
     Yields a callable wrapping :func:`repro.obs.verify_trace`; call it
     with a :class:`TraceRecorder` (or an event iterable) and optionally
     ``allow_unmatched_faults=True`` for runs that may exhaust their
-    retry budget.  The fixture fails the test at teardown if it was
-    requested but never called — a requested-but-unused verifier is a
-    hole in the test, not a pass.
+    retry budget, or ``requests=`` to also check the serving layer's
+    per-request lifecycle invariants.  The fixture fails the test at
+    teardown if it was requested but never called — a
+    requested-but-unused verifier is a hole in the test, not a pass.
     """
     from repro.obs import verify_trace
 
     calls = []
 
-    def check(trace, allow_unmatched_faults: bool = False) -> None:
+    def check(trace, **kwargs) -> None:
         calls.append(trace)
-        verify_trace(trace, allow_unmatched_faults=allow_unmatched_faults)
+        verify_trace(trace, **kwargs)
 
     yield check
     assert calls, "check_trace fixture requested but never called"

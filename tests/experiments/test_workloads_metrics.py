@@ -158,3 +158,53 @@ class TestReport:
         assert "- a" in report.bullet_list(["a", "b"])
         sec = report.section("Title", "body")
         assert "=====" in sec
+
+
+class TestPercentiles:
+    def test_linear_interpolation_convention(self):
+        # Even-sized sample: p50 is the midpoint average.
+        assert metrics.percentiles([1.0, 2.0, 3.0, 4.0], (50,)) == [2.5]
+        # Odd-sized sample: p50 is the middle element.
+        assert metrics.percentiles([3.0, 1.0, 2.0], (50,)) == [2.0]
+
+    def test_endpoints_and_defaults(self):
+        samples = list(range(101))
+        p50, p95, p99 = metrics.percentiles(samples)
+        assert (p50, p95, p99) == (50.0, 95.0, 99.0)
+        assert metrics.percentiles(samples, (0, 100)) == [0.0, 100.0]
+
+    def test_single_sample_is_every_percentile(self):
+        assert metrics.percentiles([7.0], (1, 50, 99)) == [7.0, 7.0, 7.0]
+
+    def test_empty_sample_rejected(self):
+        with pytest.raises(ReproError, match="empty"):
+            metrics.percentiles([])
+
+    def test_out_of_range_percentile_rejected(self):
+        with pytest.raises(ReproError, match="outside"):
+            metrics.percentiles([1.0], (101,))
+        with pytest.raises(ReproError, match="outside"):
+            metrics.percentiles([1.0], (-1,))
+
+    def test_latency_summary_keys_and_values(self):
+        samples = [4.0, 1.0, 3.0, 2.0]
+        summary = metrics.latency_summary(samples)
+        assert summary == {
+            "n": 4,
+            "mean": pytest.approx(2.5),
+            "min": 1.0,
+            "max": 4.0,
+            "p50": pytest.approx(2.5),
+            "p95": pytest.approx(3.85),
+            "p99": pytest.approx(3.97),
+        }
+
+    def test_latency_summary_json_ready(self):
+        import json
+
+        text = json.dumps(metrics.latency_summary([1.0, 2.0]))
+        assert json.loads(text)["n"] == 2
+
+    def test_latency_summary_empty_rejected(self):
+        with pytest.raises(ReproError, match="empty"):
+            metrics.latency_summary([])

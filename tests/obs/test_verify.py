@@ -3,8 +3,8 @@
 import pytest
 
 from repro.errors import TraceInvariantError
-from repro.obs import (find_violations, kernel_deps, split_fault,
-                       transfer_tile, verify_trace)
+from repro.obs import (find_request_violations, find_violations, kernel_deps,
+                       split_fault, transfer_tile, verify_trace)
 from repro.sim.trace import TraceEvent, TraceRecorder
 
 
@@ -159,3 +159,92 @@ class TestVerifier:
     def test_empty_trace_is_trivially_valid(self):
         verify_trace([])
         verify_trace(TraceRecorder())
+
+
+def rec(req_id, worker="gpu0", batch_id=None, enqueue=None, dispatch=None,
+        first=None, completion=None):
+    """A duck-typed request lifecycle record (as the serve layer emits)."""
+    from types import SimpleNamespace
+
+    return SimpleNamespace(req_id=req_id, worker=worker, batch_id=batch_id,
+                           enqueue_t=enqueue, dispatch_t=dispatch,
+                           first_t=first, completion_t=completion)
+
+
+class TestRequestLifecycle:
+    def test_monotone_lifecycle_passes(self):
+        reqs = [rec(0, enqueue=0.0, dispatch=1.0, first=1.5, completion=2.0)]
+        assert find_request_violations(reqs) == []
+
+    def test_shed_request_with_partial_stamps_passes(self):
+        # Never dispatched: only the stamps it has are checked.
+        assert find_request_violations([rec(0, enqueue=1.0)]) == []
+
+    def test_dispatch_before_enqueue_flagged(self):
+        reqs = [rec(3, enqueue=2.0, dispatch=1.0, completion=3.0)]
+        violations = find_request_violations(reqs)
+        assert violations and violations[0][0] == "request-lifecycle"
+        assert "#3" in violations[0][1]
+
+    def test_completion_before_first_event_flagged(self):
+        reqs = [rec(0, enqueue=0.0, dispatch=1.0, first=5.0, completion=2.0)]
+        assert [inv for inv, _ in find_request_violations(reqs)] == [
+            "request-lifecycle"]
+
+
+class TestRequestExclusive:
+    def test_sequential_batches_pass(self):
+        reqs = [
+            rec(0, batch_id=0, enqueue=0.0, dispatch=0.0, completion=1.0),
+            rec(1, batch_id=1, enqueue=0.5, dispatch=1.0, completion=2.0),
+        ]
+        assert find_request_violations(reqs) == []
+
+    def test_overlapping_batches_on_one_worker_flagged(self):
+        reqs = [
+            rec(0, batch_id=0, enqueue=0.0, dispatch=0.0, completion=2.0),
+            rec(1, batch_id=1, enqueue=0.0, dispatch=1.0, completion=3.0),
+        ]
+        violations = find_request_violations(reqs)
+        assert violations and violations[0][0] == "request-exclusive"
+        assert "gpu0" in violations[0][1]
+
+    def test_overlap_on_different_workers_passes(self):
+        reqs = [
+            rec(0, worker="gpu0", batch_id=0,
+                enqueue=0.0, dispatch=0.0, completion=2.0),
+            rec(1, worker="gpu1", batch_id=1,
+                enqueue=0.0, dispatch=1.0, completion=3.0),
+        ]
+        assert find_request_violations(reqs) == []
+
+    def test_shared_batch_members_share_their_span(self):
+        # Two requests coalesced into one batch legitimately overlap.
+        reqs = [
+            rec(0, batch_id=7, enqueue=0.0, dispatch=1.0, completion=2.0),
+            rec(1, batch_id=7, enqueue=0.5, dispatch=1.0, completion=2.0),
+        ]
+        assert find_request_violations(reqs) == []
+
+    def test_solo_requests_without_batch_get_own_span(self):
+        reqs = [
+            rec(0, batch_id=None, enqueue=0.0, dispatch=0.0, completion=2.0),
+            rec(1, batch_id=None, enqueue=0.0, dispatch=1.0, completion=3.0),
+        ]
+        assert [inv for inv, _ in find_request_violations(reqs)] == [
+            "request-exclusive"]
+
+    def test_verify_requests_raises_first_violation(self):
+        from repro.obs import verify_requests
+
+        reqs = [rec(0, enqueue=2.0, dispatch=1.0, completion=3.0)]
+        with pytest.raises(TraceInvariantError) as exc:
+            verify_requests(reqs)
+        assert exc.value.invariant == "request-lifecycle"
+
+    def test_verify_trace_forwards_requests(self):
+        good_trace = [ev("h2d", "h2d:A(0,0)", 0.0, 1.0)]
+        bad_requests = [rec(0, enqueue=2.0, dispatch=1.0, completion=3.0)]
+        verify_trace(good_trace)  # trace alone is fine
+        with pytest.raises(TraceInvariantError):
+            verify_trace(good_trace, requests=bad_requests)

@@ -1,0 +1,76 @@
+"""RunResult JSON round-trip (to_json / from_json)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.runtime.result import RunResult
+from repro.sim.faults import ResilienceCounters
+
+
+def sample_result(**overrides):
+    kwargs = dict(
+        library="CoCoPeLia",
+        routine="dgemm",
+        seconds=0.123,
+        flops=2.0 * 2048 ** 3,
+        tile_size=1024,
+        h2d_bytes=3 * 2048 * 2048 * 8,
+        d2h_bytes=2048 * 2048 * 8,
+        h2d_transfers=12,
+        d2h_transfers=4,
+        kernels=8,
+        predicted_seconds=0.120,
+        model="full-overlap",
+        extra={"overlap": 0.85},
+    )
+    kwargs.update(overrides)
+    return RunResult(**kwargs)
+
+
+class TestRoundTrip:
+    def test_equality_round_trips(self):
+        result = sample_result()
+        assert RunResult.from_json(result.to_json()) == result
+
+    def test_survives_json_serialization(self):
+        result = sample_result()
+        data = json.loads(json.dumps(result.to_json()))
+        restored = RunResult.from_json(data)
+        assert restored == result
+        assert restored.gflops == pytest.approx(result.gflops)
+        assert restored.prediction_error == pytest.approx(
+            result.prediction_error)
+
+    def test_optional_fields_round_trip_as_none(self):
+        result = sample_result(predicted_seconds=None, model=None)
+        restored = RunResult.from_json(result.to_json())
+        assert restored == result
+        assert restored.predicted_seconds is None
+        assert restored.prediction_error is None
+
+    def test_resilience_counters_round_trip(self):
+        counters = ResilienceCounters(retries=3, kernel_retries=1,
+                                      refetches=2, tile_downshifts=1,
+                                      host_fallbacks=0)
+        result = sample_result(resilience=counters)
+        restored = RunResult.from_json(
+            json.loads(json.dumps(result.to_json())))
+        assert restored.resilience == counters
+        # compare=False field: equality holds regardless, by design.
+        assert restored == sample_result()
+
+    def test_output_array_deliberately_dropped(self):
+        result = sample_result(output=np.ones((4, 4)))
+        data = result.to_json()
+        assert "output" not in data
+        restored = RunResult.from_json(data)
+        assert restored.output is None
+        assert restored == result  # output is compare=False
+
+    def test_extra_dict_is_copied_not_aliased(self):
+        result = sample_result()
+        data = result.to_json()
+        data["extra"]["overlap"] = 0.0
+        assert result.extra["overlap"] == 0.85

@@ -1,0 +1,219 @@
+"""Dispatcher unit tests: scoring, locality, admission, batching."""
+
+import numpy as np
+import pytest
+
+from repro.core.params import Loc, axpy_problem, gemm_problem
+from repro.serve import Dispatcher, HOST_WORKER, Request, ServeError
+from repro.serve.dispatcher import batchable, coalesce, gpu_worker
+
+
+@pytest.fixture()
+def dispatcher(tb2, models_tb2):
+    return Dispatcher(tb2, models_tb2, n_gpus=4)
+
+
+def req(req_id, problem=None, arrival=0.0, group=None, deadline=None,
+        priority=0):
+    if problem is None:
+        problem = gemm_problem(2048, 2048, 2048, np.float64)
+    return Request(req_id=req_id, problem=problem, arrival=arrival,
+                   group=group, deadline=deadline, priority=priority)
+
+
+class TestPredictions:
+    def test_predict_gpu_is_memoized(self, dispatcher):
+        p = gemm_problem(2048, 2048, 2048, np.float64)
+        first = dispatcher.predict_gpu(p)
+        again = dispatcher.predict_gpu(gemm_problem(2048, 2048, 2048,
+                                                    np.float64))
+        assert again is first
+        assert first.predicted_time > 0 and first.t_best > 0
+
+    def test_predict_host_gemm_only(self, dispatcher):
+        assert dispatcher.predict_host(
+            gemm_problem(512, 512, 512, np.float64)) > 0
+        assert dispatcher.predict_host(
+            axpy_problem(1 << 20, np.float64)) is None
+
+
+class TestPlacement:
+    def test_idle_ties_go_to_lowest_gpu(self, tb2, models_tb2):
+        d = Dispatcher(tb2, models_tb2, n_gpus=4, host_offload=False)
+        placement = d.place(req(0), now=0.0)
+        assert placement.worker == gpu_worker(0)
+        assert placement.tile > 0
+        assert placement.predicted_completion == pytest.approx(
+            placement.predicted_seconds)
+
+    def test_backlog_steers_away_from_busy_gpu(self, tb2, models_tb2):
+        d = Dispatcher(tb2, models_tb2, n_gpus=2, host_offload=False)
+        d.gpus[0].busy = True
+        d.gpus[0].running_pred_end = 100.0
+        placement = d.place(req(0), now=0.0)
+        assert placement.worker == gpu_worker(1)
+
+    def test_queued_predictions_count_as_backlog(self, tb2, models_tb2):
+        d = Dispatcher(tb2, models_tb2, n_gpus=2, host_offload=False)
+        waiting = req(7)
+        waiting.predicted_seconds = 50.0
+        d.gpus[0].queue.push(waiting)
+        placement = d.place(req(0), now=0.0)
+        assert placement.worker == gpu_worker(1)
+
+    def test_round_robin_cycles(self, tb2, models_tb2):
+        d = Dispatcher(tb2, models_tb2, n_gpus=3, policy="round_robin",
+                       host_offload=False)
+        workers = [d.place(req(i), now=0.0).worker for i in range(6)]
+        assert workers == [gpu_worker(i % 3) for i in range(6)]
+
+    def test_small_gemm_crosses_over_to_host(self, dispatcher):
+        """A sub-crossover gemm beats any GPU placement on the host
+        (no PCIe transfers), so the dispatcher routes it there."""
+        small = req(0, gemm_problem(256, 256, 256, np.float64))
+        placement = dispatcher.place(small, now=0.0)
+        assert placement.worker == HOST_WORKER
+        assert placement.tile is None
+
+    def test_large_gemm_stays_on_gpu(self, dispatcher):
+        large = req(0, gemm_problem(4096, 4096, 4096, np.float64))
+        assert dispatcher.place(large, now=0.0).worker != HOST_WORKER
+
+    def test_host_offload_off_never_routes_host(self, tb2, models_tb2):
+        d = Dispatcher(tb2, models_tb2, n_gpus=2, host_offload=False)
+        small = req(0, gemm_problem(256, 256, 256, np.float64))
+        assert d.place(small, now=0.0).worker != HOST_WORKER
+
+    def test_invalid_construction(self, tb2, models_tb2):
+        with pytest.raises(ServeError):
+            Dispatcher(tb2, models_tb2, n_gpus=0)
+        with pytest.raises(ServeError):
+            Dispatcher(tb2, models_tb2, n_gpus=2, policy="random")
+        with pytest.raises(ServeError):
+            Dispatcher(tb2, models_tb2, n_gpus=2, admission="maybe")
+
+    def test_state_for_rejects_unknown_worker(self, dispatcher):
+        assert dispatcher.state_for("gpu0") is dispatcher.gpus[0]
+        assert dispatcher.state_for(HOST_WORKER) is dispatcher.host
+        with pytest.raises(ServeError):
+            dispatcher.state_for("tpu0")
+        with pytest.raises(ServeError):
+            dispatcher.state_for("gpu9")
+
+
+class TestLocality:
+    def _grouped(self, req_id, group="g0"):
+        return req(req_id, gemm_problem(1024, 1024, 1024, np.float64),
+                   group=group)
+
+    def test_residency_recorded_and_predicts_faster(self, tb2, models_tb2):
+        d = Dispatcher(tb2, models_tb2, n_gpus=2, host_offload=False)
+        r = self._grouped(0)
+        assert not d._is_resident(d.gpus[1], r)
+        d.note_resident(1, r)
+        assert d._is_resident(d.gpus[1], r)
+        # Re-predicting with A device-resident must be strictly cheaper,
+        # which pulls the placement to the caching GPU despite the tie.
+        placement = d.place(self._grouped(1), now=0.0)
+        assert placement.worker == gpu_worker(1)
+        assert placement.locality_hit
+        cold = d.predict_gpu(r.problem).predicted_time
+        assert placement.predicted_seconds < cold
+
+    def test_groupless_requests_never_hit(self, tb2, models_tb2):
+        d = Dispatcher(tb2, models_tb2, n_gpus=2, host_offload=False)
+        r = self._grouped(0)
+        d.note_resident(0, r)
+        bare = req(1, gemm_problem(1024, 1024, 1024, np.float64))
+        assert not d._is_resident(d.gpus[0], bare)
+
+    def test_lru_eviction_keeps_at_least_one(self, tb2, models_tb2):
+        d = Dispatcher(tb2, models_tb2, n_gpus=1, host_offload=False,
+                       weight_cache_fraction=1e-12)
+        d.note_resident(0, self._grouped(0, "g0"))
+        d.note_resident(0, self._grouped(1, "g1"))
+        resident = d.gpus[0].resident
+        assert len(resident) == 1  # g0 evicted, floor of one entry kept
+        assert next(iter(resident))[0] == "g1"
+
+
+class TestAdmission:
+    def _placed(self, dispatcher, deadline):
+        r = req(0, deadline=deadline, priority=1)
+        return r, dispatcher.place(r, now=0.0)
+
+    def test_accept_when_deadline_met(self, dispatcher):
+        r, placement = self._placed(dispatcher, deadline=1e6)
+        assert dispatcher.admit(r, placement) == "accept"
+
+    def test_none_mode_accepts_everything(self, tb2, models_tb2):
+        d = Dispatcher(tb2, models_tb2, n_gpus=2, admission="none")
+        r, placement = self._placed(d, deadline=1e-9)
+        assert d.admit(r, placement) == "accept"
+
+    def test_shed_on_hopeless_deadline(self, dispatcher):
+        r, placement = self._placed(dispatcher, deadline=1e-9)
+        assert placement.predicted_completion > r.deadline
+        assert dispatcher.admit(r, placement) == "shed"
+
+    def test_downgrade_strips_deadline_and_priority(self, tb2, models_tb2):
+        d = Dispatcher(tb2, models_tb2, n_gpus=2, admission="downgrade")
+        r, placement = self._placed(d, deadline=1e-9)
+        assert d.admit(r, placement) == "downgrade"
+        assert r.downgraded and r.deadline is None and r.priority == 0
+
+    def test_no_deadline_is_always_accepted(self, dispatcher):
+        r = req(0)
+        placement = dispatcher.place(r, now=0.0)
+        assert dispatcher.admit(r, placement) == "accept"
+
+
+class TestBatching:
+    def _small(self, req_id, n=256, group="g0"):
+        return req(req_id, gemm_problem(256, n, 256, np.float64),
+                   group=group)
+
+    def test_same_group_same_mk_batches(self):
+        assert batchable(self._small(0), self._small(1, n=512), 1e12)
+
+    def test_group_mismatch_rejected(self):
+        assert not batchable(self._small(0), self._small(1, group="g1"), 1e12)
+        assert not batchable(self._small(0, group=None),
+                             self._small(1, group=None), 1e12)
+
+    def test_shape_and_flops_limits(self):
+        big = req(1, gemm_problem(4096, 4096, 4096, np.float64), group="g0")
+        assert not batchable(self._small(0), big, 1e12)  # (M, K) differ
+        assert not batchable(self._small(0), self._small(1), 1.0)  # flops cap
+
+    def test_routine_and_dtype_must_match(self):
+        ax = req(1, axpy_problem(1 << 20, np.float64))
+        assert not batchable(self._small(0), ax, 1e12)
+        f32 = req(1, gemm_problem(256, 256, 256, np.float32), group="g0")
+        assert not batchable(self._small(0), f32, 1e12)
+
+    def test_location_mismatch_rejected(self):
+        dev_a = req(1, gemm_problem(256, 256, 256, np.float64,
+                                    Loc.DEVICE, Loc.HOST, Loc.HOST),
+                    group="g0")
+        assert not batchable(self._small(0), dev_a, 1e12)
+
+    def test_axpy_always_compatible(self):
+        a = req(0, axpy_problem(1 << 20, np.float64))
+        b = req(1, axpy_problem(1 << 22, np.float64))
+        assert batchable(a, b, 1e12)
+
+    def test_coalesce_gemm_concatenates_n(self):
+        members = [self._small(0, n=256), self._small(1, n=512)]
+        combined = coalesce(members)
+        assert combined.dims == (256, 768, 256)
+        assert combined.dtype == np.float64
+
+    def test_coalesce_axpy_concatenates_lengths(self):
+        members = [req(0, axpy_problem(1 << 20, np.float64)),
+                   req(1, axpy_problem(1 << 21, np.float64))]
+        assert coalesce(members).dims[0] == (1 << 20) + (1 << 21)
+
+    def test_coalesce_singleton_is_identity(self):
+        r = self._small(0)
+        assert coalesce([r]) is r.problem

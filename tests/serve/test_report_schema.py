@@ -1,0 +1,132 @@
+"""The repro.serve/v1 document schema and its validator."""
+
+import copy
+import json
+
+import pytest
+
+from repro.errors import ReproError
+from repro.obs import MetricsRegistry
+from repro.serve import (
+    BlasServer,
+    SERVE_SCHEMA_VERSION,
+    ServerConfig,
+    WorkloadSpec,
+    dump_serve_document,
+    generate_workload,
+    serve_document,
+    validate_serve_json,
+)
+
+
+@pytest.fixture(scope="module")
+def document(tb2, models_tb2):
+    spec = WorkloadSpec(n_requests=16, rate=2000.0, seed=4)
+    metrics = MetricsRegistry()
+    server = BlasServer(tb2, models_tb2, ServerConfig(n_gpus=2, seed=4),
+                        metrics=metrics)
+    outcome = server.serve(generate_workload(spec))
+    return serve_document(outcome, metrics=metrics,
+                          context={"machine": "testbed_ii"})
+
+
+class TestWellFormedDocuments:
+    def test_generated_document_validates(self, document):
+        validate_serve_json(document)  # serve_document validated already
+
+    def test_schema_version_pinned(self, document):
+        assert document["schema"] == SERVE_SCHEMA_VERSION == "repro.serve/v1"
+
+    def test_dump_round_trips_through_json(self, document):
+        text = dump_serve_document(document)
+        assert text.endswith("\n")
+        parsed = json.loads(text)
+        validate_serve_json(parsed)
+        assert dump_serve_document(parsed) == text
+
+    def test_workers_cover_gpus_then_host(self, document):
+        names = [w["worker"] for w in document["report"]["workers"]]
+        assert names == ["gpu0", "gpu1", "host"]
+
+    def test_metrics_section_present(self, document):
+        counters = document["metrics"]["counters"]
+        assert counters["serve.requests"] == 16
+
+
+class TestRejections:
+    def _mutated(self, document, mutate):
+        doc = copy.deepcopy(document)
+        mutate(doc)
+        return doc
+
+    def test_non_object_rejected(self):
+        with pytest.raises(ReproError, match=r"\$"):
+            validate_serve_json([1, 2, 3])
+
+    def test_wrong_schema_version(self, document):
+        doc = self._mutated(document,
+                            lambda d: d.update(schema="repro.serve/v0"))
+        with pytest.raises(ReproError, match=r"\$\.schema"):
+            validate_serve_json(doc)
+
+    def test_missing_report_field(self, document):
+        doc = self._mutated(document,
+                            lambda d: d["report"].pop("throughput_rps"))
+        with pytest.raises(ReproError, match="throughput_rps"):
+            validate_serve_json(doc)
+
+    def test_negative_count_rejected(self, document):
+        def mutate(d):
+            d["report"]["requests"]["completed"] = -1
+        with pytest.raises(ReproError, match="completed"):
+            validate_serve_json(self._mutated(document, mutate))
+
+    def test_bool_is_not_a_count(self, document):
+        def mutate(d):
+            d["report"]["requests"]["shed"] = True
+        with pytest.raises(ReproError, match="shed"):
+            validate_serve_json(self._mutated(document, mutate))
+
+    def test_attainment_outside_unit_interval(self, document):
+        def mutate(d):
+            d["report"]["requests"]["slo"]["attainment"] = 1.2
+        with pytest.raises(ReproError, match="attainment"):
+            validate_serve_json(self._mutated(document, mutate))
+
+    def test_met_missed_exceeding_deadline_count(self, document):
+        def mutate(d):
+            slo = d["report"]["requests"]["slo"]
+            slo["met"] = slo["with_deadline"] + 1
+        with pytest.raises(ReproError, match="with_deadline"):
+            validate_serve_json(self._mutated(document, mutate))
+
+    def test_incomplete_latency_summary(self, document):
+        def mutate(d):
+            d["report"]["latency"].pop("p99")
+        with pytest.raises(ReproError, match=r"latency\.p99"):
+            validate_serve_json(self._mutated(document, mutate))
+
+    def test_empty_worker_list(self, document):
+        def mutate(d):
+            d["report"]["workers"] = []
+        with pytest.raises(ReproError, match="workers"):
+            validate_serve_json(self._mutated(document, mutate))
+
+    def test_utilization_above_one(self, document):
+        def mutate(d):
+            d["report"]["workers"][0]["utilization"] = 1.5
+        with pytest.raises(ReproError, match="utilization"):
+            validate_serve_json(self._mutated(document, mutate))
+
+    def test_missing_metrics_family(self, document):
+        doc = self._mutated(document,
+                            lambda d: d["metrics"].pop("histograms"))
+        with pytest.raises(ReproError, match="histograms"):
+            validate_serve_json(doc)
+
+    def test_error_message_carries_json_path(self, document):
+        def mutate(d):
+            d["report"]["workers"][1]["kernels"] = "many"
+        with pytest.raises(ReproError,
+                           match=r"\$\.report\.workers\[1\]\.kernels"):
+            validate_serve_json(self._mutated(document, mutate))

@@ -142,3 +142,57 @@ class TestSyrkCli:
                                "--scale", "tiny", "--db-dir", db_dir)
         assert code == 2
         assert "N K" in err
+
+
+class TestServe:
+    def test_serve_smoke_writes_valid_document(self, capsys, db_dir,
+                                               tmp_path):
+        import json
+
+        out_dir = str(tmp_path / "serve")
+        code, out, _ = run_cli(
+            capsys, "serve", "--gpus", "2", "--arrival", "poisson",
+            "--rate", "2000", "--requests", "12", "--seed", "3",
+            "--scale", "tiny", "--db-dir", db_dir, "--out-dir", out_dir)
+        assert code == 0
+        assert "Served 12 requests" in out
+        assert "SLO" in out and "p99" in out
+        assert "gpu0" in out and "host" in out
+
+        from repro.serve import validate_serve_json
+
+        with open(f"{out_dir}/serve.json") as fh:
+            doc = json.load(fh)
+        validate_serve_json(doc)
+        assert doc["context"]["n_gpus"] == 2
+        assert doc["context"]["workload"]["rate"] == 2000.0
+
+    def test_serve_deterministic_across_runs(self, capsys, db_dir,
+                                             tmp_path):
+        outs = []
+        for name in ("a", "b"):
+            out_dir = tmp_path / name
+            code, _, _ = run_cli(
+                capsys, "serve", "--requests", "8", "--rate", "1000",
+                "--seed", "5", "--scale", "tiny", "--db-dir", db_dir,
+                "--out-dir", str(out_dir))
+            assert code == 0
+            outs.append((out_dir / "serve.json").read_bytes())
+        assert outs[0] == outs[1]
+
+    def test_serve_round_robin_and_admission_flags(self, capsys, db_dir,
+                                                   tmp_path):
+        code, out, _ = run_cli(
+            capsys, "serve", "--requests", "8", "--rate", "4000",
+            "--placement", "round_robin", "--admission", "none",
+            "--no-batching", "--no-host-offload",
+            "--scale", "tiny", "--db-dir", db_dir,
+            "--out-dir", str(tmp_path))
+        assert code == 0
+        assert "placement=round_robin" in out
+
+    def test_serve_rejects_bad_arrival(self, capsys, db_dir, tmp_path):
+        with pytest.raises(SystemExit):
+            run_cli(capsys, "serve", "--arrival", "uniform",
+                    "--scale", "tiny", "--db-dir", db_dir,
+                    "--out-dir", str(tmp_path))
