@@ -28,6 +28,8 @@ from ..units import dtype_size
 class DeviceMatrix:
     """A rows x cols matrix in simulated device memory."""
 
+    __slots__ = ("rows", "cols", "dtype", "buf", "_device")
+
     def __init__(self, device: GpuDevice, rows: int, cols: int, dtype,
                  with_data: bool, name: str = "") -> None:
         if rows <= 0 or cols <= 0:
@@ -55,6 +57,8 @@ class DeviceMatrix:
 
 class DeviceVector:
     """A length-n vector in simulated device memory."""
+
+    __slots__ = ("n", "dtype", "buf", "_device")
 
     def __init__(self, device: GpuDevice, n: int, dtype, with_data: bool,
                  name: str = "") -> None:
@@ -88,6 +92,8 @@ class MatrixView:
     reallocation: transfers and kernels see the window's dims, payloads
     write through to the backing array.
     """
+
+    __slots__ = ("base", "rows", "cols", "dtype")
 
     def __init__(self, base: DeviceMatrix, rows: int, cols: int) -> None:
         if rows <= 0 or cols <= 0 or rows > base.rows or cols > base.cols:

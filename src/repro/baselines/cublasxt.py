@@ -169,8 +169,9 @@ class CublasXtScheduler(_PipelineBase):
         if extra_wait is not None:
             worker.s_h2d.wait_event(extra_wait)
         view = slot.view(rows, cols)
-        self.ctx.set_matrix_async(host, r0, c0, view, worker.s_h2d,
-                                  tag=f"h2d:{name}({i},{j})")
+        self.ctx.set_matrix_async(
+            host, r0, c0, view, worker.s_h2d,
+            tag=f"h2d:{name}({i},{j})" if self._tagged else "")
         return view
 
     def _issue(self) -> None:
@@ -212,7 +213,7 @@ class CublasXtScheduler(_PipelineBase):
             self.ctx.gemm_async(
                 a_view, b_view, c_view, worker.s_exec,
                 alpha=self.alpha, beta=self.beta if l == 0 else 1.0,
-                tag=f"gemm({i},{j},{l})",
+                tag=f"gemm({i},{j},{l})" if self._tagged else "",
             )
             kernel_ev = worker.s_exec.record_event()
             if not a_dev:
@@ -224,9 +225,9 @@ class CublasXtScheduler(_PipelineBase):
             else:
                 worker.s_d2h.wait_event(kernel_ev)
                 r0, c0, _, _ = self.grid_c.tile_window(i, j)
-                self.ctx.get_matrix_async(c_view, c_host, r0, c0,
-                                          worker.s_d2h,
-                                          tag=f"d2h:C({i},{j},{l})")
+                self.ctx.get_matrix_async(
+                    c_view, c_host, r0, c0, worker.s_d2h,
+                    tag=f"d2h:C({i},{j},{l})" if self._tagged else "")
                 d2h_ev = worker.s_d2h.record_event()
                 worker.c_slots[phase].guard = d2h_ev
                 self._c_order[(i, j)] = d2h_ev

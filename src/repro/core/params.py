@@ -11,7 +11,7 @@ from __future__ import annotations
 import enum
 import math
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from ..blas.spec import AXPY, GEMM, GEMV, SYRK, OperandSpec, RoutineSpec
 from ..errors import ModelError
@@ -101,6 +101,7 @@ class CoCoProblem:
             s1, s2 = spec.sizes(self.dims)
             self.operands.append(
                 OperandInstance(spec, s1, s2, loc, dims=self.dims))
+        self._sig: Optional[Tuple] = None
 
     # ------------------------------------------------------------------
     # derived quantities used throughout Section III
@@ -164,13 +165,21 @@ class CoCoProblem:
         return sum(op.elements() for op in self.written_operands()) * self.elem_size
 
     def signature(self) -> Tuple:
-        """Hashable identity used for model/tile-choice caching."""
-        return (
-            self.routine.name,
-            self.dims,
-            str(self.dtype),
-            tuple(op.loc.value for op in self.operands),
-        )
+        """Hashable identity used for model/tile-choice caching.
+
+        Memoized: problems are immutable after construction, and the
+        serving dispatcher calls this per placement candidate (the
+        ``str(dtype)`` alone is measurable at that rate).
+        """
+        sig = self._sig
+        if sig is None:
+            sig = self._sig = (
+                self.routine.name,
+                self.dims,
+                str(self.dtype),
+                tuple(op.loc.value for op in self.operands),
+            )
+        return sig
 
     def describe(self) -> str:
         locs = ",".join(f"{op.name}@{op.loc.value[0].upper()}" for op in self.operands)

@@ -14,7 +14,8 @@ from typing import Dict, List, Optional
 from ..errors import ModelError
 from .instantiation import MachineModels
 from .params import CoCoProblem, prefix_for
-from .registry import predict, resolve_model
+from .predcache import PredictionCache
+from .registry import resolve_model, sweep_predict
 
 #: The paper evaluates tile sizes no larger than min(D1,D2,D3)/1.5 so a
 #: problem always splits into enough tiles to pipeline.
@@ -55,7 +56,9 @@ def candidate_tiles(
     if not cands:
         # Degenerate small problem: fall back to the largest tile not
         # exceeding the smallest dimension (a single-tile split).
-        cands = [t for t in lookup.tile_sizes if t <= problem.min_dim()]
+        fitting = [t for t in lookup.tile_sizes if t <= problem.min_dim()]
+        if fitting:
+            cands = [max(fitting)]
     if not cands:
         raise ModelError(
             f"no benchmarked tile size fits problem dims {problem.dims}; "
@@ -70,16 +73,25 @@ def select_tile(
     model: str = "auto",
     min_tile: int = 0,
     interpolate: bool = False,
+    cache: Optional[PredictionCache] = None,
 ) -> TileChoice:
     """Pick the tiling size with the smallest predicted offload time.
 
     Ties break toward the *larger* tile (fewer subkernels, lower
     scheduling overhead for equal predicted time).
+
+    The candidate sweep is evaluated vectorized for the bts/dr models
+    (bit-identical to scalar evaluation); with a ``cache``, repeated
+    selections for the same (models, model, problem signature) return
+    the memoized :class:`TileChoice` in O(1).
     """
+    if cache is not None:
+        return cache.choice(problem, models, model=model,
+                            min_tile=min_tile, interpolate=interpolate)
     model_key = resolve_model(model, problem)
-    per_tile: Dict[int, float] = {}
-    for t in candidate_tiles(problem, models, min_tile=min_tile):
-        per_tile[t] = predict(model_key, problem, t, models, interpolate)
+    cands = candidate_tiles(problem, models, min_tile=min_tile)
+    times = sweep_predict(model_key, problem, cands, models, interpolate)
+    per_tile: Dict[int, float] = dict(zip(cands, times))
     t_best = min(sorted(per_tile, reverse=True), key=lambda t: per_tile[t])
     return TileChoice(
         t_best=t_best,

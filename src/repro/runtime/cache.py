@@ -68,11 +68,29 @@ class TileCache:
         return len(self._tiles)
 
     def get(self, key: TileKey) -> TileEntry:
+        """Plain lookup of a resident tile; raises if absent.
+
+        Does *not* count as a reuse hit: writebacks and verification
+        read-backs retrieve tiles through here, and counting those
+        would inflate the DR-model reuse statistics.  Reuse accounting
+        happens in :meth:`lookup` / :meth:`get_or_insert`, which the
+        schedulers' fetch paths go through.
+        """
         try:
-            entry = self._tiles[key]
+            return self._tiles[key]
         except KeyError:
             raise SchedulerError(f"tile {key} not resident") from None
-        self.hits += 1
+
+    def lookup(self, key: TileKey) -> Optional[TileEntry]:
+        """Reuse probe: the resident tile, counted as a hit, or None.
+
+        Single dict probe (no separate ``in`` check), used by the
+        scheduler fetch paths; only lookups that actually found a
+        reusable tile increment ``hits``.
+        """
+        entry = self._tiles.get(key)
+        if entry is not None:
+            self.hits += 1
         return entry
 
     def insert(self, key: TileKey, entry: TileEntry) -> TileEntry:

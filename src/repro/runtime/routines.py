@@ -29,6 +29,7 @@ from ..core.params import (
     prefix_for,
     syrk_problem,
 )
+from ..core.predcache import PredictionCache
 from ..core.select import TileChoice, candidate_tiles, select_tile
 from ..errors import (BlasError, DeviceMemoryError, ModelError,
                       RetryExhaustedError, SchedulerError)
@@ -91,6 +92,7 @@ class CoCoPeLiaLibrary:
         seed: int = 7,
         trace: bool = False,
         metrics=None,
+        prediction_cache: Optional[PredictionCache] = None,
     ) -> None:
         self.machine = machine
         self.models = models
@@ -104,7 +106,10 @@ class CoCoPeLiaLibrary:
         #: duck-typed MetricsRegistry (repro.obs.metrics); None = off
         self.metrics = metrics
         #: Per-problem model reuse: T_best computed on first invocation
-        #: with a given parameter set, reused afterwards.
+        #: with a given parameter set, reused afterwards.  An external
+        #: PredictionCache (shared across libraries/dispatchers) takes
+        #: over that memo when provided.
+        self.prediction_cache = prediction_cache
         self._tile_choices: Dict[Tuple, TileChoice] = {}
 
     # ------------------------------------------------------------------
@@ -240,6 +245,9 @@ class CoCoPeLiaLibrary:
                 "automatic tile selection requires deployed models; "
                 "pass tile_size= explicitly or provide MachineModels"
             )
+        if self.prediction_cache is not None:
+            return select_tile(problem, self.models, model=self.model,
+                               cache=self.prediction_cache)
         sig = problem.signature()
         choice = self._tile_choices.get(sig)
         if choice is None:

@@ -74,14 +74,22 @@ class _PipelineBase:
         self.hosts = hosts
         #: the device's duck-typed metrics registry (None = off)
         self.metrics = getattr(self.device, "metrics", None)
+        # Cache-metric handles resolved once, not per tile fetch.
+        if self.metrics is not None:
+            self._m_cache_hits = self.metrics.counter("runtime.cache.hits")
+            self._m_cache_misses = self.metrics.counter("runtime.cache.misses")
         self.s_h2d = self.device.create_stream("pipe-h2d")
         self.s_exec = self.device.create_stream("pipe-exec")
         self.s_d2h = self.device.create_stream("pipe-d2h")
+        #: Operation tags are observable only through the trace
+        #: recorder and fault diagnostics; when neither is active the
+        #: per-subkernel f-string formatting is skipped.
+        self._tagged = (self.device.trace is not None
+                        or self.device.faults is not None)
 
     def _count_cache(self, hit: bool) -> None:
         if self.metrics is not None:
-            name = "runtime.cache.hits" if hit else "runtime.cache.misses"
-            self.metrics.counter(name).inc()
+            (self._m_cache_hits if hit else self._m_cache_misses).inc()
 
     def _snapshot(self) -> Tuple[int, ...]:
         dev = self.device
@@ -209,15 +217,18 @@ class GemmTileScheduler(_PipelineBase):
         """
         cached = self.use_cache or name == "C"
         key = (name, i, j)
-        if cached and key in self.cache:
-            self._count_cache(hit=True)
-            return self.cache.get(key)
+        if cached:
+            entry = self.cache.lookup(key)
+            if entry is not None:
+                self._count_cache(hit=True)
+                return entry
         self._count_cache(hit=False)
         op = self._operand[name]
         host = self.hosts[name]
         r0, c0, rows, cols = grid.tile_window(i, j)
         mat = self._alloc_matrix(
-            rows, cols, with_data=host.has_data, name=f"{name}({i},{j})",
+            rows, cols, with_data=host.has_data,
+            name=f"{name}({i},{j})" if self._tagged else "",
         )
         entry = TileEntry(matrix=mat)
         if op.loc is Loc.DEVICE:
@@ -226,7 +237,8 @@ class GemmTileScheduler(_PipelineBase):
                 mat.array[:, :] = host.array[r0:r0 + rows, c0:c0 + cols]
         else:
             entry.fetch_op = self.ctx.set_matrix_async(
-                host, r0, c0, mat, self.s_h2d, tag=f"h2d:{name}({i},{j})"
+                host, r0, c0, mat, self.s_h2d,
+                tag=f"h2d:{name}({i},{j})" if self._tagged else "",
             )
             entry.ready = self.s_h2d.record_event()
         if cached:
@@ -254,36 +266,45 @@ class GemmTileScheduler(_PipelineBase):
         done_k: Dict[Tuple[int, int], int] = {}
         transient: list = []
         kernel_events: list = []
+        # Hot inner loop: one iteration per subkernel.  Frequently-read
+        # attributes are bound to locals once.
+        fetch = self._fetch_tile
+        grid_a, grid_b, grid_c = self.grid_a, self.grid_b, self.grid_c
+        s_exec = self.s_exec
+        gemm_async = self.ctx.gemm_async
+        alpha, beta = self.alpha, self.beta
+        depth = self.prefetch_depth
+        tagged = self._tagged
         for idx, (i, j, l) in enumerate(self._subkernels()):
-            if (self.prefetch_depth is not None
-                    and idx >= self.prefetch_depth):
+            if depth is not None and idx >= depth:
                 # Bounded lookahead: transfers for subkernel `idx` may
                 # only start once kernel `idx - depth` has finished.
-                self.s_h2d.wait_event(
-                    kernel_events[idx - self.prefetch_depth])
-            ea = self._fetch_tile("A", self.grid_a, i, l)
-            eb = self._fetch_tile("B", self.grid_b, l, j)
-            ec = self._fetch_tile("C", self.grid_c, i, j)
-            for entry in (ea, eb, ec):
-                entry.make_stream_wait(self.s_exec)
-            beta_eff = self.beta if done_k.get((i, j), 0) == 0 else 1.0
-            self.ctx.gemm_async(
-                ea.matrix, eb.matrix, ec.matrix, self.s_exec,
-                alpha=self.alpha, beta=beta_eff,
-                tag=f"gemm({i},{j},{l})",
+                self.s_h2d.wait_event(kernel_events[idx - depth])
+            ea = fetch("A", grid_a, i, l)
+            eb = fetch("B", grid_b, l, j)
+            ec = fetch("C", grid_c, i, j)
+            ea.make_stream_wait(s_exec)
+            eb.make_stream_wait(s_exec)
+            ec.make_stream_wait(s_exec)
+            done = done_k.get((i, j), 0)
+            gemm_async(
+                ea.matrix, eb.matrix, ec.matrix, s_exec,
+                alpha=alpha, beta=beta if done == 0 else 1.0,
+                tag=f"gemm({i},{j},{l})" if tagged else "",
             )
-            if self.prefetch_depth is not None:
-                kernel_events.append(self.s_exec.record_event())
+            if depth is not None:
+                kernel_events.append(s_exec.record_event())
             ec.dirty = True
-            done_k[(i, j)] = done_k.get((i, j), 0) + 1
-            if done_k[(i, j)] == kt:
+            done += 1
+            done_k[(i, j)] = done
+            if done == kt:
                 if c_op.set:
                     kernel_ev = self.s_exec.record_event()
                     self.s_d2h.wait_event(kernel_ev)
                     r0, c0, _, _ = self.grid_c.tile_window(i, j)
                     self.ctx.get_matrix_async(
                         ec.matrix, c_host, r0, c0, self.s_d2h,
-                        tag=f"d2h:C({i},{j})",
+                        tag=f"d2h:C({i},{j})" if tagged else "",
                     )
                     ec.dirty = False
             if not self.use_cache:
@@ -363,9 +384,10 @@ class SyrkTileScheduler(_PipelineBase):
 
     def _fetch_tile(self, name: str, grid: Grid2D, i: int, j: int) -> TileEntry:
         key = (name, i, j)
-        if key in self.cache:
+        entry = self.cache.lookup(key)
+        if entry is not None:
             self._count_cache(hit=True)
-            return self.cache.get(key)
+            return entry
         self._count_cache(hit=False)
         op = self._operand[name]
         host = self.hosts[name]
@@ -379,7 +401,8 @@ class SyrkTileScheduler(_PipelineBase):
                 mat.array[:, :] = host.array[r0:r0 + rows, c0:c0 + cols]
         else:
             entry.fetch_op = self.ctx.set_matrix_async(
-                host, r0, c0, mat, self.s_h2d, tag=f"h2d:{name}({i},{j})"
+                host, r0, c0, mat, self.s_h2d,
+                tag=f"h2d:{name}({i},{j})" if self._tagged else "",
             )
             entry.ready = self.s_h2d.record_event()
         self.cache.insert(key, entry)
@@ -403,7 +426,7 @@ class SyrkTileScheduler(_PipelineBase):
                     self.ctx.gemm_async(
                         ea.matrix, eb.matrix, ec.matrix, self.s_exec,
                         alpha=self.alpha, beta=beta_eff, transb=True,
-                        tag=f"syrk({i},{j},{l})",
+                        tag=f"syrk({i},{j},{l})" if self._tagged else "",
                     )
                 if c_op.set:
                     kernel_ev = self.s_exec.record_event()
@@ -411,7 +434,8 @@ class SyrkTileScheduler(_PipelineBase):
                     r0, c0, _, _ = self.grid_c.tile_window(i, j)
                     self.ctx.get_matrix_async(
                         self.cache.get(("C", i, j)).matrix, c_host, r0, c0,
-                        self.s_d2h, tag=f"d2h:C({i},{j})",
+                        self.s_d2h,
+                        tag=f"d2h:C({i},{j})" if self._tagged else "",
                     )
 
     def run(self) -> ScheduleStats:

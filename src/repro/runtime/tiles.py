@@ -25,10 +25,10 @@ class Grid1D:
     def __post_init__(self) -> None:
         if self.n <= 0 or self.t <= 0:
             raise SchedulerError(f"invalid 1-D grid: n={self.n}, t={self.t}")
-
-    @property
-    def n_tiles(self) -> int:
-        return math.ceil(self.n / self.t)
+        # Tile count precomputed once: schedulers read it per subkernel.
+        # (Plain attribute on a frozen dataclass — not a field, so it
+        # does not affect eq/hash/repr.)
+        object.__setattr__(self, "n_tiles", math.ceil(self.n / self.t))
 
     def tile_span(self, i: int) -> Tuple[int, int]:
         """(offset, length) of chunk ``i``."""
@@ -63,18 +63,13 @@ class Grid2D:
                 f"invalid 2-D grid: {self.rows}x{self.cols}, "
                 f"t={self.t}x{self.t_col}"
             )
-
-    @property
-    def row_tiles(self) -> int:
-        return math.ceil(self.rows / self.t)
-
-    @property
-    def col_tiles(self) -> int:
-        return math.ceil(self.cols / self.t_col)
-
-    @property
-    def n_tiles(self) -> int:
-        return self.row_tiles * self.col_tiles
+        # Tile counts precomputed once: tile_window and the scheduler
+        # inner loops read them per subkernel.  (Plain attributes on a
+        # frozen dataclass — not fields, so eq/hash/repr are unchanged.)
+        set_ = object.__setattr__
+        set_(self, "row_tiles", math.ceil(self.rows / self.t))
+        set_(self, "col_tiles", math.ceil(self.cols / self.t_col))
+        set_(self, "n_tiles", self.row_tiles * self.col_tiles)
 
     def tile_window(self, i: int, j: int) -> Tuple[int, int, int, int]:
         """(row0, col0, rows, cols) of tile (i, j), edge-aware."""

@@ -30,6 +30,7 @@ from typing import Dict, List, Optional, Tuple
 
 from ..core.instantiation import MachineModels
 from ..core.params import CoCoProblem, Loc, gemm_problem
+from ..core.predcache import PredictionCache
 from ..core.select import TileChoice, select_tile
 from ..runtime.hybrid import host_gemm_time
 from ..sim.machine import MachineConfig
@@ -120,6 +121,7 @@ class Dispatcher:
         locality: bool = True,
         host_offload: bool = True,
         weight_cache_fraction: float = 0.5,
+        prediction_cache: Optional[PredictionCache] = None,
     ) -> None:
         if n_gpus <= 0:
             raise ServeError(f"non-positive GPU count: {n_gpus}")
@@ -142,19 +144,22 @@ class Dispatcher:
         self.host = HostState()
         self._cache_capacity = weight_cache_fraction * machine.gpu_mem_bytes
         self._rr_next = 0
-        #: (problem signature, loc-adjusted) -> TileChoice memo.
-        self._choices: Dict[Tuple, TileChoice] = {}
+        #: Memoized (model, problem signature) -> TileChoice scoring;
+        #: pass a shared PredictionCache to reuse predictions across
+        #: dispatchers scoring the same machine models.
+        self.prediction_cache = (prediction_cache if prediction_cache
+                                 is not None else PredictionCache())
 
     # -- predictions ---------------------------------------------------
 
     def predict_gpu(self, problem: CoCoProblem) -> TileChoice:
-        """Model-predicted best tile and service time on one GPU."""
-        key = problem.signature()
-        choice = self._choices.get(key)
-        if choice is None:
-            choice = select_tile(problem, self.models, model=self.model)
-            self._choices[key] = choice
-        return choice
+        """Model-predicted best tile and service time on one GPU.
+
+        O(1) after the first scoring of a problem signature: placement
+        evaluates every GPU candidate per arrival, and all of them hit
+        the prediction cache past the first."""
+        return select_tile(problem, self.models, model=self.model,
+                           cache=self.prediction_cache)
 
     def predict_host(self, problem: CoCoProblem) -> Optional[float]:
         """Flat-rate host CPU service prediction (gemm only)."""
@@ -211,10 +216,27 @@ class Dispatcher:
             self._rr_next += 1
             best = self._gpu_candidate(gpu, request, now)
         else:
-            candidates = [self._gpu_candidate(g, request, now)
-                          for g in self.gpus]
-            best = min(candidates,
-                       key=lambda p: (p.predicted_completion, p.worker))
+            # Equivalent to min() over _gpu_candidate results keyed by
+            # (predicted_completion, worker), but builds only the one
+            # winning Placement (this runs once per GPU per arrival).
+            best_fields = best_key = None
+            for gpu in self.gpus:
+                hit = self._is_resident(gpu, request)
+                problem = (_with_device_a(request.problem) if hit
+                           else request.problem)
+                choice = self.predict_gpu(problem)
+                service = choice.predicted_time
+                key = (now + gpu.backlog(now) + service,
+                       gpu_worker(gpu.index))
+                if best_key is None or key < best_key:
+                    best_key = key
+                    best_fields = (key[1], choice.t_best, service, key[0],
+                                   hit)
+            worker, tile, service, completion, hit = best_fields
+            best = Placement(
+                worker=worker, tile=tile, predicted_seconds=service,
+                predicted_completion=completion, locality_hit=hit,
+            )
         if self.host_offload:
             host_service = self.predict_host(request.problem)
             if host_service is not None:

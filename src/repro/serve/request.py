@@ -135,6 +135,14 @@ class RequestQueue:
         self._heap: List[Tuple[Tuple[float, float, float, int], int, Request]] = []
         self._removed: set = set()
         self._live = 0
+        # total_predicted() memo: (live-set version it was computed at,
+        # value).  The dispatcher reads the backlog of every worker per
+        # arrival but mutates at most one queue, so the sum is reused
+        # across reads and recomputed — by the same sorted iteration,
+        # so identical float rounding — only after a push/pop/remove.
+        self._version = 0
+        self._pred_at = -1
+        self._pred_sum = 0.0
 
     def __len__(self) -> int:
         return self._live
@@ -146,6 +154,7 @@ class RequestQueue:
         heapq.heappush(self._heap, (request.queue_key(), request.req_id,
                                     request))
         self._live += 1
+        self._version += 1
 
     def peek(self) -> Optional[Request]:
         self._prune()
@@ -157,6 +166,7 @@ class RequestQueue:
             raise ServeError("pop from an empty request queue")
         _key, _rid, request = heapq.heappop(self._heap)
         self._live -= 1
+        self._version += 1
         return request
 
     def remove(self, request: Request) -> None:
@@ -165,6 +175,7 @@ class RequestQueue:
             raise ServeError(f"request {request.req_id} removed twice")
         self._removed.add(request.req_id)
         self._live -= 1
+        self._version += 1
 
     def _prune(self) -> None:
         while self._heap and self._heap[0][1] in self._removed:
@@ -179,4 +190,7 @@ class RequestQueue:
 
     def total_predicted(self) -> float:
         """Sum of admission-time service predictions of queued work."""
-        return sum(r.predicted_seconds or 0.0 for r in self)
+        if self._pred_at != self._version:
+            self._pred_sum = sum(r.predicted_seconds or 0.0 for r in self)
+            self._pred_at = self._version
+        return self._pred_sum

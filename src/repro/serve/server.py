@@ -151,7 +151,7 @@ class BlasServer:
 
     def __init__(self, machine: MachineConfig, models: MachineModels,
                  config: Optional[ServerConfig] = None,
-                 metrics=None) -> None:
+                 metrics=None, prediction_cache=None) -> None:
         self.machine = machine
         self.models = models
         self.config = config if config is not None else ServerConfig()
@@ -163,6 +163,7 @@ class BlasServer:
             admission=self.config.admission, locality=self.config.locality,
             host_offload=self.config.host_offload,
             weight_cache_fraction=self.config.weight_cache_fraction,
+            prediction_cache=prediction_cache,
         )
         #: Host CPU service noise; its own substream so the host worker
         #: never perturbs the GPU devices' draws.

@@ -8,6 +8,7 @@ recorder.
 
 from __future__ import annotations
 
+from functools import partial
 from typing import Callable, Dict, Optional, Tuple
 
 import numpy as np
@@ -193,6 +194,13 @@ class GpuDevice:
         corrupt: Optional[Callable[[], None]] = None,
     ) -> Operation:
         """Enqueue a host-to-device copy of ``nbytes`` on ``stream``."""
+        if self.faults is None:
+            op = Operation(KIND_H2D, nbytes=nbytes, tag=tag, payload=payload)
+            stream.enqueue(op, partial(
+                self.link.submit, Direction.H2D, nbytes,
+                on_complete=partial(_complete_operation, op), tag=tag,
+            ))
+            return op
         return self._transfer_async(Direction.H2D, nbytes, stream, tag,
                                     payload, verify, corrupt)
 
@@ -206,6 +214,13 @@ class GpuDevice:
         corrupt: Optional[Callable[[], None]] = None,
     ) -> Operation:
         """Enqueue a device-to-host copy of ``nbytes`` on ``stream``."""
+        if self.faults is None:
+            op = Operation(KIND_D2H, nbytes=nbytes, tag=tag, payload=payload)
+            stream.enqueue(op, partial(
+                self.link.submit, Direction.D2H, nbytes,
+                on_complete=partial(_complete_operation, op), tag=tag,
+            ))
+            return op
         return self._transfer_async(Direction.D2H, nbytes, stream, tag,
                                     payload, verify, corrupt)
 
@@ -235,15 +250,10 @@ class GpuDevice:
         faults = self.faults
 
         if faults is None:
-            def dispatch() -> None:
-                self.link.submit(
-                    direction,
-                    nbytes,
-                    on_complete=lambda: _complete_operation(op),
-                    tag=tag,
-                )
-
-            stream.enqueue(op, dispatch)
+            stream.enqueue(op, partial(
+                self.link.submit, direction, nbytes,
+                on_complete=partial(_complete_operation, op), tag=tag,
+            ))
             return op
 
         policy = self.retry_policy
@@ -311,7 +321,7 @@ class GpuDevice:
         faults = self.faults
 
         if faults is None:
-            stream.enqueue(op, lambda: self.compute.submit(op))
+            stream.enqueue(op, partial(self.compute.submit, op))
             return op
 
         policy = self.retry_policy

@@ -5,11 +5,18 @@ schedule callbacks at absolute or relative virtual times; running the
 simulator pops events in time order (FIFO among equal timestamps) and
 invokes them.  Events can be cancelled, which is how the duplex link
 re-plans in-flight transfers when contention changes.
+
+Hot-path notes: the heap stores ``(time, seq, event)`` tuples rather
+than the event handles themselves, so heap sifts compare tuples at C
+speed instead of dispatching ``ScheduledEvent.__lt__``; cancellation
+stays O(1) (a flag on the handle, checked lazily at pop time).  The
+``(time, seq)`` ordering — and therefore every observable firing
+order — is identical to the historical object-heap implementation.
 """
 
 from __future__ import annotations
 
-import heapq
+from heapq import heappop, heappush
 from typing import Callable, List, Optional, Tuple
 
 from ..errors import SimulationError
@@ -38,6 +45,11 @@ class ScheduledEvent:
         return f"<ScheduledEvent t={self.time:.9f} seq={self.seq} {state}>"
 
 
+#: One heap entry: (time, seq, handle).  seq values are unique, so tuple
+#: comparison never reaches the (uncomparable-by-design) handle.
+_HeapEntry = Tuple[float, int, ScheduledEvent]
+
+
 class Simulator:
     """Virtual-time event loop.
 
@@ -49,7 +61,7 @@ class Simulator:
     def __init__(self) -> None:
         self._now = 0.0
         self._seq = 0
-        self._heap: List[ScheduledEvent] = []
+        self._heap: List[_HeapEntry] = []
         self._running = False
 
     @property
@@ -60,13 +72,18 @@ class Simulator:
     @property
     def pending_events(self) -> int:
         """Number of scheduled, not-yet-cancelled events."""
-        return sum(1 for ev in self._heap if not ev.cancelled)
+        return sum(1 for _, _, ev in self._heap if not ev.cancelled)
 
     def schedule(self, delay: float, callback: Callable[[], None]) -> ScheduledEvent:
         """Schedule ``callback`` to run ``delay`` seconds from now."""
         if delay < 0:
             raise SimulationError(f"cannot schedule in the past (delay={delay})")
-        return self.schedule_at(self._now + delay, callback)
+        time = self._now + delay
+        seq = self._seq
+        self._seq = seq + 1
+        ev = ScheduledEvent(time, seq, callback)
+        heappush(self._heap, (time, seq, ev))
+        return ev
 
     def schedule_at(self, time: float, callback: Callable[[], None]) -> ScheduledEvent:
         """Schedule ``callback`` at absolute virtual time ``time``."""
@@ -74,14 +91,16 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule at t={time} before now={self._now}"
             )
-        ev = ScheduledEvent(time, self._seq, callback)
-        self._seq += 1
-        heapq.heappush(self._heap, ev)
+        seq = self._seq
+        self._seq = seq + 1
+        ev = ScheduledEvent(time, seq, callback)
+        heappush(self._heap, (time, seq, ev))
         return ev
 
     def _pop_next(self) -> Optional[ScheduledEvent]:
-        while self._heap:
-            ev = heapq.heappop(self._heap)
+        heap = self._heap
+        while heap:
+            ev = heappop(heap)[2]
             if not ev.cancelled:
                 return ev
         return None
@@ -96,12 +115,13 @@ class Simulator:
             raise SimulationError("simulator is already running (re-entrant run)")
         self._running = True
         fired = 0
+        heap = self._heap
         try:
-            while True:
-                ev = self._pop_next()
-                if ev is None:
-                    break
-                self._now = ev.time
+            while heap:
+                time, _seq, ev = heappop(heap)
+                if ev.cancelled:
+                    continue
+                self._now = time
                 ev.callback()
                 fired += 1
                 if fired > max_events:
@@ -119,13 +139,17 @@ class Simulator:
             raise SimulationError("simulator is already running (re-entrant run)")
         self._running = True
         fired = 0
+        heap = self._heap
         try:
             while not predicate():
-                ev = self._pop_next()
-                if ev is None:
+                while heap:
+                    entry = heappop(heap)
+                    if not entry[2].cancelled:
+                        break
+                else:
                     break
-                self._now = ev.time
-                ev.callback()
+                self._now = entry[0]
+                entry[2].callback()
                 fired += 1
                 if fired > max_events:
                     raise SimulationError(
@@ -136,10 +160,17 @@ class Simulator:
         return fired
 
     def peek_next_time(self) -> Optional[float]:
-        """Timestamp of the next pending event, or None if idle."""
-        for ev in sorted(self._heap):
-            if not ev.cancelled:
-                return ev.time
+        """Timestamp of the next pending event, or None if idle.
+
+        Amortized O(1): cancelled entries at the top of the heap are
+        discarded on the way (they would be skipped at pop time anyway).
+        """
+        heap = self._heap
+        while heap:
+            if heap[0][2].cancelled:
+                heappop(heap)
+            else:
+                return heap[0][0]
         return None
 
     def advance_to(self, time: float) -> None:

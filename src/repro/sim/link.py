@@ -15,13 +15,23 @@ or stops flowing, the in-flight transfer is re-planned — bytes done so
 far are integrated at the old rate and the completion event is
 rescheduled at the new rate.  This is what produces the partial-overlap
 behaviour of the paper's Eq. 3 as *ground truth*.
+
+Hot-path notes: this module fires a handful of callbacks per simulated
+transfer, so the inner machinery avoids per-event allocations and
+per-call lookups — direction state is held in plain slotted objects
+linked via ``other`` (no enum-keyed dict on the transfer path), the
+latency/flow/completion callbacks are bound once per direction instead
+of a fresh lambda per event, and metric handles are resolved at
+construction.  The event timing and firing order are identical to the
+original implementation.
 """
 
 from __future__ import annotations
 
 import enum
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+from functools import partial
 from typing import Callable, Deque, Dict, Optional
 
 from ..errors import InvalidTransferError, SimulationError
@@ -69,10 +79,11 @@ class LinkDirectionConfig:
             )
 
 
-class _Phase(enum.Enum):
-    IDLE = 0
-    LATENCY = 1
-    FLOW = 2
+# Flow phases as plain ints: module constants are cheaper to read and
+# compare than enum members on the per-event path.
+_IDLE = 0
+_LATENCY = 1
+_FLOW = 2
 
 
 class _Job:
@@ -127,6 +138,11 @@ class DirectionStats:
 class _DirectionState:
     __slots__ = (
         "cfg",
+        "name",
+        "latency",
+        "bandwidth",
+        "slowdown",
+        "other",
         "queue",
         "active",
         "phase",
@@ -134,17 +150,37 @@ class _DirectionState:
         "last_update",
         "rate",
         "stats",
+        "begin_flow_cb",
+        "complete_cb",
+        "m_transfers",
+        "m_bytes",
+        "m_faults",
+        "m_queue_wait",
     )
 
-    def __init__(self, cfg: LinkDirectionConfig) -> None:
+    def __init__(self, cfg: LinkDirectionConfig, name: str) -> None:
         self.cfg = cfg
+        self.name = name
+        # Scalar copies of the config, read on every event.
+        self.latency = cfg.latency
+        self.bandwidth = cfg.bandwidth
+        self.slowdown = cfg.bid_slowdown
+        self.other: "_DirectionState" = self  # rebound by DuplexLink
         self.queue: Deque[_Job] = deque()
         self.active: Optional[_Job] = None
-        self.phase = _Phase.IDLE
+        self.phase = _IDLE
         self.completion: Optional[ScheduledEvent] = None
         self.last_update = 0.0
         self.rate = 0.0
         self.stats = DirectionStats()
+        # Bound per-direction callbacks (one allocation per link, not
+        # one per event) and prefetched metric handles (None = off).
+        self.begin_flow_cb: Callable[[], None] = lambda: None
+        self.complete_cb: Callable[[], None] = lambda: None
+        self.m_transfers = None
+        self.m_bytes = None
+        self.m_faults = None
+        self.m_queue_wait = None
 
 
 class DuplexLink:
@@ -161,15 +197,28 @@ class DuplexLink:
         metrics=None,
     ) -> None:
         self._sim = sim
+        self._h2d = _DirectionState(h2d, Direction.H2D.value)
+        self._d2h = _DirectionState(d2h, Direction.D2H.value)
+        self._h2d.other = self._d2h
+        self._d2h.other = self._h2d
         self._dirs: Dict[Direction, _DirectionState] = {
-            Direction.H2D: _DirectionState(h2d),
-            Direction.D2H: _DirectionState(d2h),
+            Direction.H2D: self._h2d,
+            Direction.D2H: self._d2h,
         }
         self._noise = noise
         self._trace = trace
         self._faults = faults
         #: duck-typed MetricsRegistry (repro.obs.metrics); None = off
         self._metrics = metrics
+        for st in (self._h2d, self._d2h):
+            st.begin_flow_cb = partial(self._begin_flow, st)
+            st.complete_cb = partial(self._complete, st)
+            if metrics is not None:
+                prefix = f"sim.{st.name}"
+                st.m_transfers = metrics.counter(f"{prefix}.transfers")
+                st.m_bytes = metrics.counter(f"{prefix}.bytes")
+                st.m_faults = metrics.counter(f"{prefix}.faults")
+                st.m_queue_wait = metrics.histogram(f"{prefix}.queue_wait")
 
     def config(self, direction: Direction) -> LinkDirectionConfig:
         return self._dirs[direction].cfg
@@ -182,7 +231,7 @@ class DuplexLink:
         return len(st.queue) + (1 if st.active is not None else 0)
 
     def is_flowing(self, direction: Direction) -> bool:
-        return self._dirs[direction].phase is _Phase.FLOW
+        return self._dirs[direction].phase == _FLOW
 
     def submit(
         self,
@@ -212,65 +261,58 @@ class DuplexLink:
             job.rate_scale *= outcome.rate_factor
             job.on_fault = on_fault
         job.submit_time = self._sim.now
-        self._dirs[direction].queue.append(job)
-        self._try_start(direction)
+        st = self._h2d if direction is Direction.H2D else self._d2h
+        st.queue.append(job)
+        if st.active is None:
+            self._try_start(st)
 
     # ------------------------------------------------------------------
     # internal machinery
     # ------------------------------------------------------------------
 
-    def _try_start(self, direction: Direction) -> None:
-        st = self._dirs[direction]
+    def _try_start(self, st: _DirectionState) -> None:
         if st.active is not None or not st.queue:
             return
         job = st.queue.popleft()
         st.active = job
-        st.phase = _Phase.LATENCY
+        st.phase = _LATENCY
         job.start_time = self._sim.now
-        latency = st.cfg.latency
+        latency = st.latency
         if self._noise is not None:
             latency *= self._noise.latency_factor()
-        st.completion = self._sim.schedule(
-            latency, lambda d=direction: self._begin_flow(d)
-        )
+        st.completion = self._sim.schedule(latency, st.begin_flow_cb)
 
-    def _current_rate(self, direction: Direction) -> float:
-        """Byte rate for ``direction`` given both directions' phases."""
-        st = self._dirs[direction]
-        other = self._dirs[direction.opposite]
-        rate = st.cfg.bandwidth
-        if other.phase is _Phase.FLOW:
-            rate /= st.cfg.bid_slowdown
-        assert st.active is not None
+    def _current_rate(self, st: _DirectionState) -> float:
+        """Byte rate for the direction given both directions' phases."""
+        rate = st.bandwidth
+        if st.other.phase == _FLOW:
+            rate /= st.slowdown
         return rate * st.active.rate_scale
 
-    def _begin_flow(self, direction: Direction) -> None:
-        st = self._dirs[direction]
+    def _begin_flow(self, st: _DirectionState) -> None:
         if st.active is None:
             raise SimulationError("flow began with no active transfer")
-        st.phase = _Phase.FLOW
+        st.phase = _FLOW
         st.last_update = self._sim.now
         if st.active.remaining <= 0.0:
             # Zero-byte transfer: latency only.
-            self._complete(direction)
+            self._complete(st)
             return
-        self._reschedule(direction)
+        self._reschedule(st)
         # The opposite direction just gained a contender: slow it down.
-        self._replan(direction.opposite)
+        self._replan(st.other)
 
-    def _reschedule(self, direction: Direction) -> None:
+    def _reschedule(self, st: _DirectionState) -> None:
         """(Re)compute the completion event from current remaining bytes."""
-        st = self._dirs[direction]
-        assert st.active is not None
         if st.completion is not None:
-            st.completion.cancel()
-        st.rate = self._current_rate(direction)
-        eta = st.active.remaining / st.rate
+            st.completion.cancelled = True
+        rate = self._current_rate(st)
+        st.rate = rate
         st.completion = self._sim.schedule(
-            eta, lambda d=direction: self._complete(d)
+            st.active.remaining / rate, st.complete_cb
         )
 
-    def _accrue(self, direction: Direction, elapsed: float) -> None:
+    def _accrue(self, st: _DirectionState, elapsed: float) -> None:
         """Account flow time (and contended flow time) for a span during
         which the contention state was constant.
 
@@ -280,66 +322,61 @@ class DuplexLink:
         """
         if elapsed <= 0:
             return
-        st = self._dirs[direction]
-        st.stats.flow_time += elapsed
-        assert st.active is not None
-        uncontended = st.cfg.bandwidth * st.active.rate_scale
+        stats = st.stats
+        stats.flow_time += elapsed
+        uncontended = st.bandwidth * st.active.rate_scale
         if st.rate < uncontended * (1.0 - 1e-12):
-            st.stats.bid_overlap_time += elapsed
+            stats.bid_overlap_time += elapsed
 
-    def _replan(self, direction: Direction) -> None:
+    def _replan(self, st: _DirectionState) -> None:
         """Integrate progress and re-plan after a contention change."""
-        st = self._dirs[direction]
-        if st.phase is not _Phase.FLOW or st.active is None:
+        if st.phase != _FLOW or st.active is None:
             return
         now = self._sim.now
         elapsed = now - st.last_update
         if elapsed > 0:
             done = elapsed * st.rate
             st.active.remaining = max(0.0, st.active.remaining - done)
-            self._accrue(direction, elapsed)
+            self._accrue(st, elapsed)
         st.last_update = now
-        self._reschedule(direction)
+        self._reschedule(st)
 
-    def _complete(self, direction: Direction) -> None:
-        st = self._dirs[direction]
+    def _complete(self, st: _DirectionState) -> None:
         job = st.active
         if job is None:
             raise SimulationError("completion fired with no active transfer")
         now = self._sim.now
-        if st.phase is _Phase.FLOW:
-            self._accrue(direction, now - st.last_update)
+        if st.phase == _FLOW:
+            self._accrue(st, now - st.last_update)
         job.remaining = 0.0
-        st.phase = _Phase.IDLE
+        st.phase = _IDLE
         st.active = None
         st.completion = None
-        st.stats.transfers += 1
-        st.stats.bytes_moved += job.nbytes
-        st.stats.busy_time += now - job.start_time
+        stats = st.stats
+        stats.transfers += 1
+        stats.bytes_moved += job.nbytes
+        stats.busy_time += now - job.start_time
         if job.fail:
-            st.stats.faults += 1
-        if self._metrics is not None:
-            prefix = f"sim.{direction.value}"
-            self._metrics.counter(f"{prefix}.transfers").inc()
-            self._metrics.counter(f"{prefix}.bytes").inc(job.nbytes)
+            stats.faults += 1
+        if st.m_transfers is not None:
+            st.m_transfers.inc()
+            st.m_bytes.inc(job.nbytes)
             if job.fail:
-                self._metrics.counter(f"{prefix}.faults").inc()
-            self._metrics.histogram(f"{prefix}.queue_wait").observe(
-                job.start_time - job.submit_time
-            )
+                st.m_faults.inc()
+            st.m_queue_wait.observe(job.start_time - job.submit_time)
         if self._trace is not None:
             self._trace.record(
-                engine=direction.value,
+                engine=st.name,
                 tag=job.tag + ("!fault" if job.fail else ""),
                 start=job.start_time,
                 end=now,
                 nbytes=job.nbytes,
             )
         # The opposite direction lost its contender: speed it up.
-        self._replan(direction.opposite)
+        self._replan(st.other)
         if job.fail:
             if job.on_fault is not None:
                 job.on_fault()
         elif job.on_complete is not None:
             job.on_complete()
-        self._try_start(direction)
+        self._try_start(st)

@@ -30,6 +30,8 @@ class HostArray:
     ``pinned`` flag exists so the backend can enforce the same rule.
     """
 
+    __slots__ = ("shape", "dtype", "array", "pinned", "name")
+
     def __init__(
         self,
         shape: Tuple[int, ...],
@@ -38,7 +40,7 @@ class HostArray:
         pinned: bool = True,
         name: str = "",
     ) -> None:
-        self.shape = tuple(int(s) for s in shape)
+        self.shape = tuple(map(int, shape))
         self.dtype = np.dtype(dtype)
         if array is not None and tuple(array.shape) != self.shape:
             raise SimulationError(
@@ -77,6 +79,8 @@ class HostArray:
 class DeviceBuffer:
     """A slab of simulated GPU memory, optionally backed by an ndarray."""
 
+    __slots__ = ("nbytes", "shape", "dtype", "array", "_name", "freed")
+
     def __init__(
         self,
         nbytes: int,
@@ -88,11 +92,20 @@ class DeviceBuffer:
         if nbytes < 0:
             raise SimulationError(f"negative buffer size: {nbytes}")
         self.nbytes = int(nbytes)
-        self.shape = tuple(int(s) for s in shape) if shape is not None else None
+        self.shape = tuple(map(int, shape)) if shape is not None else None
         self.dtype = np.dtype(dtype) if dtype is not None else None
         self.array = array
-        self.name = name or f"dev{next(_buffer_ids)}"
+        self._name = name
         self.freed = False
+
+    @property
+    def name(self) -> str:
+        # Auto-names are assigned on first read (error messages and
+        # repr only) rather than per allocation.
+        n = self._name
+        if not n:
+            n = self._name = f"dev{next(_buffer_ids)}"
+        return n
 
     @property
     def has_data(self) -> bool:

@@ -6,6 +6,28 @@ is within 5% of the mean.  To make that machinery meaningful in
 simulation, every simulated duration is perturbed by a small
 multiplicative lognormal factor drawn from a seeded RNG, so runs are
 noisy but reproducible.
+
+Hot-path notes: normal deviates are drawn from the substream RNGs in
+blocks and consumed one at a time, which amortizes the per-call
+overhead of ``Generator.standard_normal`` across hundreds of draws.
+NumPy generators produce the *same* deviate sequence whether drawn
+singly or in blocks, and the lognormal factor is still computed per
+draw with ``math.exp``, so every factor is bit-identical to the
+unbuffered implementation.  Substream RNGs are created lazily on first
+draw: devices whose runs never touch a factor type skip that
+``default_rng`` construction entirely (device construction is itself a
+hot path for the serving layer, which builds fresh devices per batch).
+
+The first block of each ``(stream, seed)`` substream is additionally
+memoized at module level: the serving layer creates hundreds of
+short-lived devices per run, each drawing a handful of factors, and
+re-serving the same workload reconstructs devices with the *same*
+seeds — the cache turns ``SeedSequence`` hashing + generator
+construction + the block draw into one dict lookup.  The block is a
+pure function of ``(stream, seed)``, so sharing it across NoiseModel
+instances cannot couple their sequences; a model that outlives its
+first block constructs its RNG then and fast-forwards past the cached
+block, which replays the identical deviate stream.
 """
 
 from __future__ import annotations
@@ -18,6 +40,14 @@ import numpy as np
 #: Substream index per factor type; each draws from its own seeded RNG
 #: so e.g. adding kernel launches never shifts the transfer-noise draws.
 _FACTOR_STREAMS = {"duration": 0, "latency": 1, "rate": 2}
+
+#: Normal deviates drawn per refill of one substream's buffer.
+_BLOCK = 256
+
+#: Memoized first deviate block per (stream index, seed); bounded so
+#: pathological seed churn cannot grow it without limit.
+_FIRST_BLOCKS: dict = {}
+_FIRST_BLOCKS_CAP = 4096
 
 
 class NoiseModel:
@@ -37,13 +67,12 @@ class NoiseModel:
             raise ValueError(f"negative noise sigma: {sigma}")
         self.seed = seed
         self.sigma = sigma
-        self._rngs = self._fresh_rngs()
-
-    def _fresh_rngs(self):
-        return {
-            name: np.random.default_rng([index, self.seed])
-            for name, index in _FACTOR_STREAMS.items()
-        }
+        self._rngs = {}
+        # Per-substream draw buffers: (deviate list, next index).
+        self._buffers = {}
+        # Blocks already consumed per substream (for RNG fast-forward
+        # when the first block came from the module-level cache).
+        self._blocks_done = {}
 
     @classmethod
     def disabled(cls) -> "NoiseModel":
@@ -53,7 +82,43 @@ class NoiseModel:
     def _factor(self, stream: str) -> float:
         if self.sigma == 0.0:
             return 1.0
-        return math.exp(self.sigma * float(self._rngs[stream].standard_normal()))
+        buf = self._buffers.get(stream)
+        if buf is None or buf[1] >= len(buf[0]):
+            buf = self._refill(stream)
+        idx = buf[1]
+        buf[1] = idx + 1
+        return math.exp(self.sigma * buf[0][idx])
+
+    def _refill(self, stream: str) -> list:
+        """Produce the next ``_BLOCK`` deviates of one substream.
+
+        The first block is served from (and populates) the module-level
+        ``_FIRST_BLOCKS`` cache; later blocks come from the substream
+        RNG, constructed on demand and fast-forwarded past any cached
+        blocks so the deviate sequence is identical either way.
+        """
+        done = self._blocks_done.get(stream, 0)
+        self._blocks_done[stream] = done + 1
+        if done == 0:
+            key = (_FACTOR_STREAMS[stream], self.seed)
+            block = _FIRST_BLOCKS.get(key)
+            if block is None:
+                rng = np.random.default_rng(key)
+                self._rngs[stream] = rng
+                block = rng.standard_normal(_BLOCK).tolist()
+                if len(_FIRST_BLOCKS) < _FIRST_BLOCKS_CAP:
+                    _FIRST_BLOCKS[key] = block
+        else:
+            rng = self._rngs.get(stream)
+            if rng is None:
+                rng = np.random.default_rng(
+                    [_FACTOR_STREAMS[stream], self.seed])
+                rng.standard_normal(_BLOCK * done)  # skip cached blocks
+                self._rngs[stream] = rng
+            block = rng.standard_normal(_BLOCK).tolist()
+        buf = [block, 0]
+        self._buffers[stream] = buf
+        return buf
 
     def duration_factor(self) -> float:
         """Factor applied to a kernel execution duration."""
@@ -69,7 +134,9 @@ class NoiseModel:
 
     def reset(self) -> None:
         """Rewind all substreams to the seed (identical future draws)."""
-        self._rngs = self._fresh_rngs()
+        self._rngs = {}
+        self._buffers = {}
+        self._blocks_done = {}
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"NoiseModel(seed={self.seed}, sigma={self.sigma})"

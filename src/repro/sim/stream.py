@@ -50,7 +50,7 @@ class Operation:
         "attempts",
         "fault",
         "on_fault",
-        "_dispatch",
+        "_dispatch_fn",
     )
 
     def __init__(
@@ -72,10 +72,13 @@ class Operation:
         self.tag = tag
         self.payload = payload
         self.remaining_deps = 0
-        self.dependents: List["Operation"] = []
+        # Lazily created (None = empty): most ops never get a done
+        # callback, and the two lists per op are real GC pressure at
+        # tens of thousands of ops per simulated run.
+        self.dependents: Optional[List["Operation"]] = None
         self.done = False
         self.issued = False
-        self.callbacks: List[Callable[[], None]] = []
+        self.callbacks: Optional[List[Callable[[], None]]] = None
         #: resilience bookkeeping (see repro.sim.faults): engine
         #: submissions of this op, whether the current attempt is
         #: fault-doomed, and the callback fired instead of completion.
@@ -89,15 +92,27 @@ class Operation:
             raise StreamError("cannot add a dependency to an issued operation")
         if dep.done:
             return
-        dep.dependents.append(self)
+        if dep.dependents is None:
+            dep.dependents = [self]
+        else:
+            dep.dependents.append(self)
         self.remaining_deps += 1
 
     def on_done(self, fn: Callable[[], None]) -> None:
         """Run ``fn`` at the op's completion time (immediately if done)."""
         if self.done:
             fn()
+        elif self.callbacks is None:
+            self.callbacks = [fn]
         else:
             self.callbacks.append(fn)
+
+    def _dispatch(self) -> None:
+        """Hand the op to its engine, exactly once."""
+        if self.issued:
+            raise StreamError(f"operation dispatched twice: {self!r}")
+        self.issued = True
+        self._dispatch_fn()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "done" if self.done else ("issued" if self.issued else "pending")
@@ -106,6 +121,8 @@ class Operation:
 
 class CudaEvent:
     """Cross-stream synchronization marker (cudaEventRecord/WaitEvent)."""
+
+    __slots__ = ("_marker", "_recorded")
 
     def __init__(self) -> None:
         self._marker: Optional[Operation] = None
@@ -136,6 +153,12 @@ class ComputeEngine:
         self._trace = trace
         #: duck-typed MetricsRegistry (repro.obs.metrics); None = off
         self._metrics = metrics
+        # Metric handles resolved once instead of per kernel.
+        if metrics is not None:
+            self._m_count = metrics.counter("sim.kernel.count")
+            self._m_seconds = metrics.counter("sim.kernel.seconds")
+            self._m_flops = metrics.counter("sim.kernel.flops")
+            self._m_faults = metrics.counter("sim.kernel.faults")
         self._queue: Deque[Operation] = deque()
         self._active: Optional[Operation] = None
         self._start_time = 0.0
@@ -176,12 +199,11 @@ class ComputeEngine:
                 flops=op.flops,
             )
         if self._metrics is not None:
-            self._metrics.counter("sim.kernel.count").inc()
-            self._metrics.counter("sim.kernel.seconds").inc(
-                now - self._start_time)
-            self._metrics.counter("sim.kernel.flops").inc(op.flops)
+            self._m_count.inc()
+            self._m_seconds.inc(now - self._start_time)
+            self._m_flops.inc(op.flops)
             if op.fault:
-                self._metrics.counter("sim.kernel.faults").inc()
+                self._m_faults.inc()
         self._active = None
         if op.fault:
             # Injected kernel abort: the engine was occupied for the
@@ -200,19 +222,26 @@ def _complete_operation(op: Operation) -> None:
     if op.payload is not None:
         op.payload()
     op.done = True
-    for cb in op.callbacks:
-        cb()
-    op.callbacks.clear()
-    for dep in op.dependents:
-        dep.remaining_deps -= 1
-        if dep.remaining_deps == 0 and not dep.done:
-            dep_device_dispatch = dep._dispatch  # type: ignore[attr-defined]
-            dep_device_dispatch()
-    op.dependents.clear()
+    callbacks = op.callbacks
+    if callbacks:
+        op.callbacks = None
+        for cb in callbacks:
+            cb()
+    dependents = op.dependents
+    if dependents:
+        op.dependents = None
+        for dep in dependents:
+            remaining = dep.remaining_deps - 1
+            dep.remaining_deps = remaining
+            if remaining == 0 and not dep.done:
+                dep._dispatch()
 
 
 class Stream:
     """An in-order queue of device operations (a CUDA stream)."""
+
+    __slots__ = ("_device", "name", "_last", "_pending_waits",
+                 "ops_enqueued")
 
     def __init__(self, device, name: str = "") -> None:
         self._device = device
@@ -237,17 +266,36 @@ class Stream:
 
         ``dispatch`` hands the op to its engine; it runs now if all
         dependencies are already satisfied, later otherwise.
+
+        The dependency attachment is ``Operation.add_dependency``
+        inlined (a fresh op is never issued, so the issued guard is
+        statically satisfied): this runs once per simulated operation.
         """
-        op._dispatch = _DispatchOnce(op, dispatch)  # type: ignore[attr-defined]
-        if self._last is not None:
-            op.add_dependency(self._last)
-        for marker in self._pending_waits:
-            op.add_dependency(marker)
-        self._pending_waits.clear()
+        op._dispatch_fn = dispatch
+        deps = 0
+        last = self._last
+        if last is not None and not last.done:
+            if last.dependents is None:
+                last.dependents = [op]
+            else:
+                last.dependents.append(op)
+            deps = 1
+        waits = self._pending_waits
+        if waits:
+            for marker in waits:
+                if not marker.done:
+                    if marker.dependents is None:
+                        marker.dependents = [op]
+                    else:
+                        marker.dependents.append(op)
+                    deps += 1
+            waits.clear()
+        if deps:
+            op.remaining_deps += deps
         self._last = op
         self.ops_enqueued += 1
         if op.remaining_deps == 0:
-            op._dispatch()  # type: ignore[attr-defined]
+            op._dispatch()
 
     def record_event(self) -> CudaEvent:
         """Record an event capturing all work enqueued so far."""
@@ -272,21 +320,3 @@ class Stream:
     @property
     def idle(self) -> bool:
         return self._last is None or self._last.done
-
-
-class _DispatchOnce:
-    """Guards an operation's engine dispatch against double submission."""
-
-    __slots__ = ("_op", "_fn", "_fired")
-
-    def __init__(self, op: Operation, fn: Callable[[], None]) -> None:
-        self._op = op
-        self._fn = fn
-        self._fired = False
-
-    def __call__(self) -> None:
-        if self._fired:
-            raise StreamError(f"operation dispatched twice: {self._op!r}")
-        self._fired = True
-        self._op.issued = True
-        self._fn()

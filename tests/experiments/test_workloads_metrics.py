@@ -111,6 +111,17 @@ class TestMetrics:
         assert dist.q1 == -5.0 and dist.q3 == 5.0
         assert dist.n == 5
 
+    def test_mean_abs_does_not_cancel_mixed_signs(self):
+        """Regression: mean_abs was |mean(e)|, which let over- and
+        under-predictions cancel; it must be mean(|e|)."""
+        dist = metrics.ErrorDistribution.from_samples(
+            "x", [-10.0, -5.0, 0.0, 5.0, 10.0])
+        assert dist.mean == 0.0
+        assert dist.mean_abs == pytest.approx(6.0)
+        skewed = metrics.ErrorDistribution.from_samples("y", [-30.0, 10.0])
+        assert skewed.mean_abs == pytest.approx(20.0)
+        assert skewed.mean_abs != abs(skewed.mean)
+
     def test_empty_distribution_rejected(self):
         with pytest.raises(ReproError):
             metrics.ErrorDistribution.from_samples("x", [])

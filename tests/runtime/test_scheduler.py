@@ -131,6 +131,19 @@ class TestGemmTraffic:
         assert stats.kernels == (512 // t) ** 3
         sched.release()
 
+    def test_cache_counters_pinned_for_known_grid(self):
+        """256^3 at T=128: 2x2 grids, 8 subkernels.  Each subkernel
+        probes A, B, C once (24 probes); 12 unique tiles are fetched,
+        so exactly 12 probes find a resident tile."""
+        problem = gemm_problem(256, 256, 256)
+        ctx = make_ctx()
+        hosts = {n: _host_operand(problem, n, None) for n in "ABC"}
+        sched = GemmTileScheduler(ctx, problem, 128, hosts)
+        sched.run()
+        assert sched.cache.fetches == 12
+        assert sched.cache.hits == 12
+        sched.release()
+
     def test_bytes_match_operand_sizes(self):
         problem = gemm_problem(512, 768, 256)
         ctx = make_ctx()

@@ -105,6 +105,26 @@ class TestTileCache:
         with pytest.raises(SchedulerError):
             cache.insert(("A", 0, 0), self._entry(ctx))
 
+    def test_get_is_a_pure_lookup(self, ctx):
+        """get() serves writebacks/read-backs and must not count as a
+        reuse hit — only the fetch-path probes (lookup/get_or_insert)
+        feed the DR-model reuse statistics."""
+        cache = TileCache(ctx)
+        cache.insert(("C", 0, 0), self._entry(ctx))
+        for _ in range(3):
+            cache.get(("C", 0, 0))
+        assert cache.hits == 0
+        assert cache.fetches == 1
+
+    def test_lookup_counts_only_found_tiles(self, ctx):
+        cache = TileCache(ctx)
+        assert cache.lookup(("A", 0, 0)) is None
+        assert cache.hits == 0
+        entry = cache.insert(("A", 0, 0), self._entry(ctx))
+        assert cache.lookup(("A", 0, 0)) is entry
+        assert cache.lookup(("A", 0, 0)) is entry
+        assert cache.hits == 2
+
     def test_fetch_and_hit_counters(self, ctx):
         cache = TileCache(ctx)
         entry, resident = cache.get_or_insert(
