@@ -1,0 +1,327 @@
+"""Bench: serial-vs-parallel wall clocks for the fan-out layer.
+
+Measures the host wall-clock time of the three grid-shaped workloads
+the ``repro.parallel`` layer fans out — the deployment micro-benchmark
+grid, the per-problem Fig. 7 sweep, and the serving rate sweep — once
+serially and once with ``--workers N`` processes, and records both
+into ``results/BENCH_parallel.json``.
+
+Speedup honesty: process pools only help when the host has cores to
+run them on, so the document records ``cpu_count`` alongside the wall
+clocks.  ``--validate`` enforces the ``deploy_grid`` >= 2x floor at 4
+workers only when the *recorded* host had at least 4 CPUs; on smaller
+hosts (e.g. single-core CI containers, where the theoretical best is
+1.0x) it still validates the schema, internal coherence, and a
+pathological-overhead bound.  ``--require-floor`` forces the gate
+regardless, for recording machines.  This mirrors the
+``bench_hotpath.py --no-speedup-gate`` precedent: wall clocks are
+machine-dependent, determinism is not.
+
+``--determinism`` byte-compares serial vs parallel outputs of all four
+fan-out sites (deployment database, repetition samples, Fig. 7 points,
+serve reports) — the part of the contract every machine must satisfy.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_parallel.py --scale quick
+    PYTHONPATH=src python benchmarks/bench_parallel.py --record \
+        --workers 4 --json benchmarks/results/BENCH_parallel.json
+    PYTHONPATH=src python benchmarks/bench_parallel.py --validate
+    PYTHONPATH=src python benchmarks/bench_parallel.py --determinism
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+RESULTS_DIR = Path(__file__).parent / "results"
+DEFAULT_JSON = RESULTS_DIR / "BENCH_parallel.json"
+
+SCHEMA = "repro.bench_parallel/v1"
+
+#: Acceptance floor (ISSUE 5): the deployment grid at 4 workers must be
+#: at least this much faster than serial — on hosts with >= FLOOR_CPUS
+#: cores, where the pool can actually run 4 workers at once.
+SPEEDUP_FLOOR = 2.0
+FLOOR_CPUS = 4
+
+#: Structural sanity bound enforced everywhere: even a core-starved
+#: host must not pay more than ~3x overhead for fanning out.
+OVERHEAD_BOUND = 0.3
+
+#: The workload whose speedup the floor gates; the sweeps are
+#: informational (their grids are smaller, so pool startup weighs in).
+GATED_WORKLOAD = "deploy_grid"
+
+BENCH_SEED = 11
+
+_FIVE_ROUTINES = (("gemm", np.float64), ("gemm", np.float32),
+                  ("axpy", np.float64), ("gemv", np.float64),
+                  ("syrk", np.float64))
+
+
+def _deployment_config(scale: str, workers: int):
+    from repro.deploy import DeploymentConfig
+
+    if scale == "tiny":
+        return DeploymentConfig.quick(workers=workers)
+    if scale == "quick":
+        return DeploymentConfig.quick(routines=_FIVE_ROUTINES,
+                                      workers=workers)
+    return DeploymentConfig(routines=_FIVE_ROUTINES, workers=workers)
+
+
+# ---------------------------------------------------------------------------
+# workloads: fn(scale, workers) -> None
+# ---------------------------------------------------------------------------
+
+def workload_deploy_grid(scale: str, workers: int) -> None:
+    """The full deployment campaign (transfer grid + 5 exec tables)."""
+    from repro.deploy import deploy
+    from repro.sim.machine import get_testbed
+
+    deploy(get_testbed("testbed_ii"), _deployment_config(scale, workers))
+
+
+def workload_fig7_sweep(scale: str, workers: int) -> None:
+    """Per-problem Fig. 7 sweep: one testbed, dgemm, three scenarios.
+
+    Capped at quick scale — the sweep itself is defined for the
+    tiny/quick evaluation sets, and only the gated deployment grid
+    grows with ``--scale paper``.
+    """
+    from repro.experiments import fig7_performance
+    from repro.experiments.harness import testbeds
+
+    fig7_performance.run(scale="tiny" if scale == "tiny" else "quick",
+                         machines=testbeds()[:1],
+                         dtypes=(np.float64,), parallel=workers)
+
+
+def workload_serve_sweep(scale: str, workers: int) -> None:
+    """Serving rate sweep through the shared fan-out task."""
+    from repro.experiments.harness import (models_for, prime_worker,
+                                           warm_payload)
+    from repro.parallel import pmap
+    from repro.parallel.tasks import serve_rate_task
+    from repro.sim.machine import get_testbed
+
+    machine = get_testbed("testbed_ii")
+    models_for(machine, "quick")
+    payload = warm_payload([machine], "quick") if workers > 1 else []
+    tasks = [(machine, "quick", rate, 64, 4, BENCH_SEED)
+             for rate in (200.0, 1000.0, 4000.0, 8000.0)]
+    pmap(serve_rate_task, tasks, parallel=workers,
+         initializer=prime_worker, initargs=(payload,))
+
+
+WORKLOADS = {
+    "deploy_grid": workload_deploy_grid,
+    "fig7_sweep": workload_fig7_sweep,
+    "serve_sweep": workload_serve_sweep,
+}
+
+
+def measure(fn, scale: str, workers: int, reps: int) -> float:
+    """Best-of-``reps`` wall-clock seconds (min is the stable statistic)."""
+    best = float("inf")
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        fn(scale, workers)
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def run_all(scale: str, workers: int, reps: int) -> dict:
+    timings = {}
+    for name, fn in WORKLOADS.items():
+        fn(scale, 1)  # untimed warmup: imports and caches off the clock
+        serial = measure(fn, scale, 1, reps)
+        parallel = measure(fn, scale, workers, reps)
+        timings[name] = {
+            "serial_seconds": serial,
+            "parallel_seconds": parallel,
+            "speedup": serial / parallel,
+        }
+        print(f"  {name:<14} serial {serial * 1e3:9.1f} ms   "
+              f"x{workers} workers {parallel * 1e3:9.1f} ms   "
+              f"speedup {serial / parallel:5.2f}x  (best of {reps})")
+    return timings
+
+
+# ---------------------------------------------------------------------------
+# JSON document
+# ---------------------------------------------------------------------------
+
+def record(path: Path, scale: str, workers: int, reps: int) -> dict:
+    cpus = os.cpu_count() or 1
+    print(f"parallel bench: scale={scale}, workers={workers}, "
+          f"cpu_count={cpus}")
+    doc = {
+        "schema": SCHEMA,
+        "scale": scale,
+        "workers": workers,
+        "reps": reps,
+        "cpu_count": cpus,
+        "speedup_floor": SPEEDUP_FLOOR,
+        "floor_cpus": FLOOR_CPUS,
+        "gated_workload": GATED_WORKLOAD,
+        "workloads": run_all(scale, workers, reps),
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w") as fh:
+        json.dump(doc, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {path}")
+    return doc
+
+
+def validate(path: Path, require_floor: bool = False) -> None:
+    """Schema + coherence validation; conditional speedup floor."""
+    with open(path) as fh:
+        doc = json.load(fh)
+    assert doc.get("schema") == SCHEMA, f"bad schema: {doc.get('schema')}"
+    assert doc.get("scale") in ("tiny", "quick", "paper"), doc.get("scale")
+    assert isinstance(doc.get("workers"), int) and doc["workers"] >= 2
+    assert isinstance(doc.get("reps"), int) and doc["reps"] >= 1
+    assert isinstance(doc.get("cpu_count"), int) and doc["cpu_count"] >= 1
+    assert doc.get("speedup_floor") == SPEEDUP_FLOOR
+    assert doc.get("gated_workload") == GATED_WORKLOAD
+    workloads = doc.get("workloads")
+    assert isinstance(workloads, dict) and workloads, "no workloads"
+    for name in WORKLOADS:
+        assert name in workloads, f"missing workload {name!r}"
+        entry = workloads[name]
+        for key in ("serial_seconds", "parallel_seconds", "speedup"):
+            assert key in entry, f"{name}: missing {key}"
+            assert isinstance(entry[key], (int, float)) and entry[key] > 0, \
+                f"{name}.{key} not a positive number: {entry[key]!r}"
+        want = entry["serial_seconds"] / entry["parallel_seconds"]
+        assert abs(entry["speedup"] - want) < 1e-9 * max(want, 1.0), \
+            f"{name}: speedup {entry['speedup']} != serial/parallel {want}"
+        assert entry["speedup"] >= OVERHEAD_BOUND, (
+            f"{name}: speedup {entry['speedup']:.2f}x below the "
+            f"{OVERHEAD_BOUND}x pathological-overhead bound")
+    gate = require_floor or doc["cpu_count"] >= FLOOR_CPUS
+    got = workloads[GATED_WORKLOAD]["speedup"]
+    if gate:
+        assert got >= SPEEDUP_FLOOR, (
+            f"{GATED_WORKLOAD}: speedup {got:.2f}x at "
+            f"{doc['workers']} workers below the {SPEEDUP_FLOOR}x floor")
+        print(f"{path} valid: {GATED_WORKLOAD}={got:.2f}x "
+              f">= {SPEEDUP_FLOOR}x floor")
+    else:
+        print(f"{path} valid (schema + coherence); floor not enforced: "
+              f"recorded host had {doc['cpu_count']} CPU(s) < {FLOOR_CPUS} "
+              f"({GATED_WORKLOAD}={got:.2f}x recorded)")
+
+
+# ---------------------------------------------------------------------------
+# determinism proof: serial == parallel, byte for byte
+# ---------------------------------------------------------------------------
+
+def check_determinism(scale: str = "tiny", workers: int = 2) -> None:
+    from dataclasses import asdict
+
+    from repro.core.params import gemm_problem
+    from repro.deploy import deploy
+    from repro.experiments import fig7_performance
+    from repro.experiments.harness import LibraryFactory, models_for
+    from repro.experiments.repetition import measure_repeated
+    from repro.parallel import pmap
+    from repro.parallel.tasks import serve_rate_task
+    from repro.sim.machine import get_testbed
+
+    machine = get_testbed("testbed_ii")
+
+    # 1. Deployment database bytes.
+    serial = deploy(machine, _deployment_config(scale, 1))
+    fanned = deploy(machine, _deployment_config(scale, workers))
+    a = json.dumps(serial.to_dict(), sort_keys=True).encode()
+    b = json.dumps(fanned.to_dict(), sort_keys=True).encode()
+    assert a == b, "parallel deployment changed the model database"
+    print(f"deploy determinism ok ({len(a)} bytes, byte-identical at "
+          f"{workers} workers)")
+
+    # 2. Repetition samples.
+    models_for(machine, scale)
+    factory = LibraryFactory("CoCoPeLia", machine, scale=scale)
+    problem = gemm_problem(1024, 1024, 1024)
+    rep_s = measure_repeated(lib_factory=factory, problem=problem, reps=16)
+    rep_p = measure_repeated(lib_factory=factory, problem=problem, reps=16,
+                             parallel=workers)
+    assert rep_s.samples == rep_p.samples, \
+        "parallel repetitions reordered the sample stream"
+    assert rep_s.mean == rep_p.mean
+    print(f"repetition determinism ok ({rep_s.n} samples bit-identical)")
+
+    # 3. Fig. 7 points.
+    f_s = fig7_performance.run(scale=scale, parallel=None)
+    f_p = fig7_performance.run(scale=scale, parallel=workers)
+    dump = lambda r: json.dumps(
+        {"|".join(k): [asdict(p) for p in v] for k, v in r.points.items()},
+        sort_keys=True)
+    assert dump(f_s) == dump(f_p), "parallel fig7 changed a point"
+    npoints = sum(len(v) for v in f_s.points.values())
+    print(f"fig7 determinism ok ({npoints} points byte-identical)")
+
+    # 4. Serve reports.
+    tasks = [(machine, scale, rate, 32, 2, BENCH_SEED)
+             for rate in (1000.0, 8000.0)]
+    r_s = pmap(serve_rate_task, tasks)
+    r_p = pmap(serve_rate_task, tasks, parallel=workers)
+    assert (json.dumps(r_s, sort_keys=True)
+            == json.dumps(r_p, sort_keys=True)), \
+        "parallel serve sweep changed a report"
+    print(f"serve determinism ok ({len(tasks)} rates byte-identical)")
+
+
+# ---------------------------------------------------------------------------
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--scale", default="quick",
+                        choices=("tiny", "quick", "paper"))
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument("--reps", type=int, default=3)
+    parser.add_argument("--json", type=Path, default=DEFAULT_JSON)
+    parser.add_argument("--record", action="store_true",
+                        help="run the workloads and write the JSON")
+    parser.add_argument("--validate", action="store_true",
+                        help="validate the committed JSON (schema + "
+                             "coherence; speedup floor when the recorded "
+                             "host had enough CPUs)")
+    parser.add_argument("--require-floor", action="store_true",
+                        help="with --validate: enforce the speedup floor "
+                             "regardless of the recorded cpu_count")
+    parser.add_argument("--determinism", action="store_true",
+                        help="byte-compare serial vs parallel outputs of "
+                             "all fan-out sites")
+    args = parser.parse_args(argv)
+
+    did_something = False
+    if args.record:
+        record(args.json, args.scale, args.workers, args.reps)
+        did_something = True
+    if args.validate:
+        validate(args.json, require_floor=args.require_floor)
+        did_something = True
+    if args.determinism:
+        check_determinism(workers=max(2, min(args.workers, 4)))
+        did_something = True
+    if not did_something:
+        print(f"parallel bench: scale={args.scale}, "
+              f"workers={args.workers} (dry run, not recorded)")
+        run_all(args.scale, args.workers, args.reps)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

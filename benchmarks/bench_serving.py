@@ -9,14 +9,19 @@ deterministic for the fixed seed.
 Besides the rendered table, the sweep is persisted as
 ``results/BENCH_serving.json`` — the machine-readable perf-trajectory
 artifact CI and future PRs diff against.
+
+The rate sweep runs through :func:`repro.parallel.pmap`: each rate is
+an independent seeded simulation, so ``REPRO_BENCH_WORKERS=N`` fans
+the sweep across N processes and (by the determinism contract) the
+emitted document stays byte-identical to the serial run.
 """
 
 import json
+import os
 
-from repro.experiments.harness import models_for
-from repro.obs import MetricsRegistry
-from repro.serve import (BlasServer, ServerConfig, WorkloadSpec,
-                         generate_workload, serve_report)
+from repro.experiments.harness import models_for, prime_worker, warm_payload
+from repro.parallel import ParallelConfig, pmap
+from repro.parallel.tasks import serve_rate_task
 from repro.experiments.report import format_table
 from repro.sim.machine import get_testbed
 
@@ -28,23 +33,24 @@ N_REQUESTS = 64
 N_GPUS = 4
 
 
-def _serve_at(machine, models, rate: float) -> dict:
-    spec = WorkloadSpec(arrival="poisson", rate=rate,
-                        n_requests=N_REQUESTS, scale="tiny",
-                        seed=BENCH_SEED)
-    config = ServerConfig(n_gpus=N_GPUS, seed=BENCH_SEED)
-    server = BlasServer(machine, models, config,
-                        metrics=MetricsRegistry())
-    return serve_report(server.serve(generate_workload(spec)))
+def _serve_at(machine, scale, rate: float) -> dict:
+    return serve_rate_task(machine, scale, rate, N_REQUESTS, N_GPUS,
+                           BENCH_SEED)
 
 
 def test_serving_rate_sweep(benchmark, bench_scale, results_dir):
     machine = get_testbed("testbed_ii")
-    models = models_for(machine, bench_scale)
+    models_for(machine, bench_scale)
+    workers = ParallelConfig(
+        workers=int(os.environ.get("REPRO_BENCH_WORKERS", "1")))
+    payload = warm_payload([machine], bench_scale) if workers.enabled else []
 
     def run_all():
-        return {rate: _serve_at(machine, models, rate)
-                for rate in ARRIVAL_RATES}
+        tasks = [(machine, bench_scale, rate, N_REQUESTS, N_GPUS,
+                  BENCH_SEED) for rate in ARRIVAL_RATES]
+        reports = pmap(serve_rate_task, tasks, parallel=workers,
+                       initializer=prime_worker, initargs=(payload,))
+        return dict(zip(ARRIVAL_RATES, reports))
 
     reports = benchmark.pedantic(run_all, rounds=1, iterations=1)
 

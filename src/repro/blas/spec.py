@@ -94,6 +94,12 @@ class RoutineSpec:
         dims = self.check_dims(dims)
         return sum(op.elements(dims) for op in self.operands)
 
+    def __reduce__(self):
+        # Shape/flops lambdas don't pickle; specs are module singletons,
+        # so serialize by name and rehydrate via the registry (keeps
+        # problems picklable for the process-pool fan-out layer).
+        return (get_routine, (self.name,))
+
 
 # ---------------------------------------------------------------------------
 # The three routine families the paper models (Section III-C): level-3

@@ -81,13 +81,13 @@ def _loc(value: str) -> Loc:
         ) from None
 
 
-def _deployment_config(scale: str) -> DeploymentConfig:
+def _deployment_config(scale: str, workers: int = 1) -> DeploymentConfig:
     routines = [("gemm", np.float64), ("gemm", np.float32),
                 ("axpy", np.float64), ("gemv", np.float64),
                 ("syrk", np.float64)]
     if scale == "paper":
-        return DeploymentConfig(routines=tuple(routines))
-    return DeploymentConfig.quick(routines=routines)
+        return DeploymentConfig(routines=tuple(routines), workers=workers)
+    return DeploymentConfig.quick(routines=routines, workers=workers)
 
 
 def _models_for(args):
@@ -95,7 +95,8 @@ def _models_for(args):
     models = deploy_or_load(
         machine, variant=args.scale, db_dir=args.db_dir,
         force=getattr(args, "force", False),
-        config=_deployment_config(args.scale),
+        config=_deployment_config(args.scale,
+                                  workers=getattr(args, "workers", 1)),
     )
     return machine, models
 
@@ -393,6 +394,9 @@ def cmd_select(args) -> int:
 
 
 def cmd_experiment(args) -> int:
+    import inspect
+
+    workers = getattr(args, "workers", 1)
     if args.name == "all":
         from .experiments import full_report
 
@@ -400,11 +404,17 @@ def cmd_experiment(args) -> int:
             scale=args.scale,
             progress=lambda title, wall: print(
                 f"  [done] {title} ({wall:.1f}s)", file=sys.stderr),
+            parallel=workers,
         )
         print(full_report.render(report))
         return 0
     module = EXPERIMENTS[args.name]
-    result = module.run(scale=args.scale)
+    # Only the per-problem sweep experiments fan out; the rest are
+    # cheap single-machine analyses with no parallel parameter.
+    if "parallel" in inspect.signature(module.run).parameters:
+        result = module.run(scale=args.scale, parallel=workers)
+    else:
+        result = module.run(scale=args.scale)
     print(module.render(result))
     return 0
 
@@ -428,6 +438,10 @@ def build_parser() -> argparse.ArgumentParser:
     _add_machine_args(p_deploy)
     p_deploy.add_argument("--force", action="store_true",
                           help="re-benchmark even if a database is cached")
+    p_deploy.add_argument("--workers", type=int, default=1,
+                          help="processes for the benchmark grids; results "
+                               "are byte-identical for any count "
+                               "(default: 1 = serial)")
 
     p_run = sub.add_parser("run", help="offload one BLAS invocation")
     p_run.add_argument("routine", choices=("gemm", "gemv", "syrk", "axpy"))
@@ -530,6 +544,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_exp.add_argument("name", choices=sorted(EXPERIMENTS) + ["all"])
     p_exp.add_argument("--scale", default="quick",
                        choices=("tiny", "quick", "paper"))
+    p_exp.add_argument("--workers", type=int, default=1,
+                       help="processes for the per-problem sweeps; reported "
+                            "numbers are identical for any count "
+                            "(default: 1 = serial)")
 
     return parser
 

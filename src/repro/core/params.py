@@ -189,6 +189,20 @@ class CoCoProblem:
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<CoCoProblem {self.describe()}>"
 
+    def __reduce__(self):
+        # Operand specs hold shape lambdas that don't pickle; a problem
+        # is fully determined by its signature, so rebuild from that.
+        return (_restore_problem, self.signature())
+
+
+def _restore_problem(routine_name: str, dims: Tuple[int, ...],
+                     dtype_str: str, loc_values: Tuple[str, ...]) -> "CoCoProblem":
+    """Rehydrate a pickled :class:`CoCoProblem` from its signature."""
+    from ..blas.spec import get_routine
+
+    return CoCoProblem(get_routine(routine_name), dims, np.dtype(dtype_str),
+                       tuple(Loc(v) for v in loc_values))
+
 
 def prefix_for(dtype) -> str:
     """BLAS dtype prefix ('d' for float64, 's' for float32)."""

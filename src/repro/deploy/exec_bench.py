@@ -21,6 +21,7 @@ from ..backend.cublas import CublasContext
 from ..core.exec_model import ExecLookup
 from ..core.params import prefix_for
 from ..errors import DeploymentError
+from ..parallel import ParallelConfig, pmap, task_seed
 from ..sim.device import GpuDevice
 from ..sim.machine import MachineConfig
 from .regression import measure_until_stable
@@ -99,6 +100,38 @@ def _timed_axpy(ctx: CublasContext, n: int, dtype) -> float:
     return elapsed
 
 
+def _routine_sweep(routine: str, cfg: ExecBenchConfig):
+    """(tile sizes, timing fn) for one routine; raises if unsupported."""
+    if routine == "gemm":
+        return cfg.gemm_tiles, _timed_gemm
+    if routine == "axpy":
+        return cfg.axpy_tiles, _timed_axpy
+    if routine == "gemv":
+        return cfg.gemv_tiles, _timed_gemv
+    if routine == "syrk":
+        # The tiled syrk executes its subkernels as transb gemm tiles,
+        # so its t_GPU^T is the gemm tile time measured the same way.
+        return cfg.gemm_tiles, _timed_gemm
+    raise DeploymentError(
+        f"no execution benchmark defined for routine {routine!r}"
+    )
+
+
+def _exec_point_task(machine: MachineConfig, routine: str, dtype, t: int,
+                     cfg: ExecBenchConfig, seed: int) -> float:
+    """Measure one tile size on a fresh, pre-seeded device/context."""
+    _, timed = _routine_sweep(routine, cfg)
+    ctx = CublasContext(GpuDevice(machine, seed=seed))
+    mean, _ = measure_until_stable(
+        lambda: timed(ctx, t, dtype),
+        rel_half_width=cfg.rel_half_width,
+        confidence=cfg.confidence,
+        min_reps=cfg.min_reps,
+        max_reps=cfg.max_reps,
+    )
+    return mean
+
+
 def bench_exec_table(
     machine: MachineConfig,
     routine: str,
@@ -106,39 +139,37 @@ def bench_exec_table(
     cfg: ExecBenchConfig = ExecBenchConfig(),
     seed: int = 4321,
     device: Optional[GpuDevice] = None,
+    parallel=None,
 ) -> ExecLookup:
-    """Build the ``t_GPU^T`` lookup table for one (routine, dtype)."""
+    """Build the ``t_GPU^T`` lookup table for one (routine, dtype).
+
+    Each tile size is measured on its own freshly seeded device (one
+    independent task per grid point); ``parallel`` fans the sweep out
+    across processes with results merged in tile order, so any worker
+    count yields a byte-identical table.  Passing an explicit
+    ``device`` keeps the legacy behaviour of timing the whole sweep on
+    that one device (and is necessarily serial).
+    """
     routine = routine.lower()
-    if device is None:
-        device = GpuDevice(machine, seed=seed)
-    ctx = CublasContext(device)
+    tiles, timed = _routine_sweep(routine, cfg)
     prefix = prefix_for(dtype)
     lookup = ExecLookup(routine, prefix)
-    if routine == "gemm":
-        tiles = cfg.gemm_tiles
-        timed = lambda t: _timed_gemm(ctx, t, dtype)
-    elif routine == "axpy":
-        tiles = cfg.axpy_tiles
-        timed = lambda t: _timed_axpy(ctx, t, dtype)
-    elif routine == "gemv":
-        tiles = cfg.gemv_tiles
-        timed = lambda t: _timed_gemv(ctx, t, dtype)
-    elif routine == "syrk":
-        # The tiled syrk executes its subkernels as transb gemm tiles,
-        # so its t_GPU^T is the gemm tile time measured the same way.
-        tiles = cfg.gemm_tiles
-        timed = lambda t: _timed_gemm(ctx, t, dtype)
-    else:
-        raise DeploymentError(
-            f"no execution benchmark defined for routine {routine!r}"
-        )
-    for t in tiles:
-        mean, _ = measure_until_stable(
-            lambda: timed(t),
-            rel_half_width=cfg.rel_half_width,
-            confidence=cfg.confidence,
-            min_reps=cfg.min_reps,
-            max_reps=cfg.max_reps,
-        )
+    if device is not None:
+        ctx = CublasContext(device)
+        for t in tiles:
+            mean, _ = measure_until_stable(
+                lambda: timed(ctx, t, dtype),
+                rel_half_width=cfg.rel_half_width,
+                confidence=cfg.confidence,
+                min_reps=cfg.min_reps,
+                max_reps=cfg.max_reps,
+            )
+            lookup.add(t, mean)
+        return lookup
+    parallel = ParallelConfig.resolve(parallel)
+    tasks = [(machine, routine, dtype, t, cfg, task_seed(seed, routine, t))
+             for t in tiles]
+    means = pmap(_exec_point_task, tasks, parallel=parallel)
+    for t, mean in zip(tiles, means):
         lookup.add(t, mean)
     return lookup

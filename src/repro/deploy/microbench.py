@@ -26,6 +26,7 @@ import numpy as np
 
 from ..core.transfer_model import LinkModel, TransferFit
 from ..errors import DeploymentError
+from ..parallel import ParallelConfig, pmap, task_seed
 from ..sim.device import GpuDevice
 from ..sim.link import Direction
 from ..sim.machine import MachineConfig
@@ -156,33 +157,85 @@ def bench_transfer_sweep(
     return sizes, times
 
 
+def _transfer_point_task(machine: MachineConfig, direction: Direction,
+                         kind: str, nbytes: int, cfg: TransferBenchConfig,
+                         seed: int):
+    """One grid point of the transfer campaign, on a fresh device.
+
+    Each point gets its own device with a pre-derived seed, so the
+    measurement is a pure function of the task arguments — the property
+    the parallel fan-out's determinism contract rests on.
+    """
+    device = GpuDevice(machine, seed=seed)
+    if kind == "latency":
+        return bench_latency(device, direction, cfg)
+    if kind == "uni":
+        measure = lambda: _timed_transfer(device, direction, nbytes)
+    else:
+        measure = lambda: _timed_bid_transfer(device, direction, nbytes,
+                                              cfg.opposite_factor)
+    mean, _ = measure_until_stable(
+        measure,
+        rel_half_width=cfg.rel_half_width,
+        confidence=cfg.confidence,
+        min_reps=cfg.min_reps,
+        max_reps=cfg.max_reps,
+    )
+    return mean
+
+
 def fit_link_model(
     machine: MachineConfig,
     cfg: TransferBenchConfig = TransferBenchConfig(),
     seed: int = 1234,
+    parallel=None,
 ) -> Tuple[LinkModel, Dict[str, DirectionBenchData]]:
-    """Run the full transfer campaign on a fresh device and fit.
+    """Run the full transfer campaign and fit the link coefficients.
 
     Returns the fitted :class:`LinkModel` plus the raw sweep data per
     direction (used by the Table II reproduction).
+
+    The campaign is a grid of independent points (per direction: one
+    latency probe set, one uni- and one bidirectional measurement per
+    edge), each on its own freshly seeded device; ``parallel`` fans
+    them out across processes with results merged in grid order, so
+    any worker count produces byte-identical fits.
     """
-    device = GpuDevice(machine, seed=seed)
+    parallel = ParallelConfig.resolve(parallel)
+    esize = dtype_size(cfg.dtype)
+    directions = (Direction.H2D, Direction.D2H)
+    tasks = []
+    for direction in directions:
+        d = direction.value
+        tasks.append((machine, direction, "latency", 1, cfg,
+                      task_seed(seed, d, "latency")))
+        for kind in ("uni", "bid"):
+            for edge in cfg.edges:
+                tasks.append((machine, direction, kind,
+                              edge * edge * esize, cfg,
+                              task_seed(seed, d, kind, edge)))
+    results = pmap(_transfer_point_task, tasks, parallel=parallel)
+
+    nedges = len(cfg.edges)
+    per_direction = 1 + 2 * nedges
     raw: Dict[str, DirectionBenchData] = {}
     fits: Dict[str, TransferFit] = {}
-    for direction in (Direction.H2D, Direction.D2H):
+    for di, direction in enumerate(directions):
+        base = di * per_direction
+        latency, latency_samples = results[base]
+        uni = results[base + 1:base + 1 + nedges]
+        bid = results[base + 1 + nedges:base + per_direction]
         data = DirectionBenchData()
-        latency, data.latency_samples = bench_latency(device, direction, cfg)
-        nbytes, uni = bench_transfer_sweep(device, direction, cfg,
-                                           bidirectional=False)
-        _, bid = bench_transfer_sweep(device, direction, cfg,
-                                      bidirectional=True)
-        data.nbytes = nbytes
+        data.latency_samples = latency_samples
+        data.nbytes = [edge * edge * esize for edge in cfg.edges]
         data.uni_times = uni
         data.bid_times = bid
         # Exclude the measured latency from the regressed times
         # (zero-intercept fit, in the manner of [32]).
-        uni_fit = zero_intercept_lstsq(nbytes, [t - latency for t in uni])
-        bid_fit = zero_intercept_lstsq(nbytes, [t - latency for t in bid])
+        uni_fit = zero_intercept_lstsq(data.nbytes,
+                                       [t - latency for t in uni])
+        bid_fit = zero_intercept_lstsq(data.nbytes,
+                                       [t - latency for t in bid])
         sl = bid_fit.slope / uni_fit.slope
         if sl < 1.0:
             # Measurement noise can push the ratio slightly below 1 on

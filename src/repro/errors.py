@@ -117,3 +117,23 @@ class DeploymentError(ReproError):
 
 class SchedulerError(ReproError):
     """The tile scheduler was driven into an invalid state."""
+
+
+class ParallelError(ReproError):
+    """The parallel fan-out layer was configured or used incorrectly."""
+
+
+class WorkerError(ParallelError):
+    """A task raised inside a worker process.
+
+    The worker's original traceback is captured as text (tracebacks do
+    not survive pickling) and carried in ``traceback_text`` so the
+    failure is debuggable from the parent process.
+    """
+
+    def __init__(self, traceback_text: str) -> None:
+        self.traceback_text = traceback_text
+        super().__init__(
+            "task failed in worker process; original traceback:\n"
+            + traceback_text
+        )

@@ -19,13 +19,19 @@ import numpy as np
 
 from ..baselines import BlasXLibrary, CublasXtLibrary
 from ..core.params import CoCoProblem, Loc, gemm_problem
+from ..parallel import ParallelConfig, pmap, task_seed
 from ..runtime import CoCoPeLiaLibrary
 from ..sim.machine import MachineConfig
 from . import workloads
-from .harness import models_for, run_gemm, testbeds
+from .harness import (models_for, prime_worker, run_gemm, testbeds,
+                      warm_payload)
 from .report import format_table
 
 SCENARIOS = ("full", "c_only", "fat_thin")
+
+#: Root of the per-problem seed derivation; each task's library seeds
+#: hang off (root, machine, routine, scenario, problem index).
+_SEED_ROOT = 7001
 
 #: Tile sizes tried for cuBLASXt (the paper tests 10 and keeps the best).
 XT_SWEEP = {"paper": tuple(range(1024, 10 * 1024 + 1, 1024)),
@@ -77,44 +83,66 @@ class Fig7Result:
         return out
 
 
+def _fig7_task(machine: MachineConfig, scale: str, problem: CoCoProblem,
+               xt_tiles: Tuple[int, ...], seed_base: int) -> Fig7Point:
+    """Measure one problem under all three libraries, self-contained.
+
+    Libraries are rebuilt per task with seeds derived from the task's
+    grid coordinates (never from a shared call counter), so the point
+    is identical wherever and whenever it runs.
+    """
+    models = models_for(machine, scale)
+    cc = CoCoPeLiaLibrary(machine, models, seed=task_seed(seed_base, "cc"))
+    xt = CublasXtLibrary(machine, seed=task_seed(seed_base, "xt"))
+    bx = BlasXLibrary(machine, seed=task_seed(seed_base, "bx"))
+    point = Fig7Point(problem=problem.describe())
+    r_cc = run_gemm(cc, problem)
+    point.gflops["CoCoPeLia"] = r_cc.gflops
+    point.tiles["CoCoPeLia"] = r_cc.tile_size
+    best_xt = None
+    for t in xt_tiles:
+        if t > problem.min_dim():
+            continue
+        r = run_gemm(xt, problem, tile_size=t)
+        if best_xt is None or r.seconds < best_xt.seconds:
+            best_xt = r
+    if best_xt is None:
+        best_xt = run_gemm(xt, problem, tile_size=problem.min_dim())
+    point.gflops["cuBLASXt"] = best_xt.gflops
+    point.tiles["cuBLASXt"] = best_xt.tile_size
+    r_bx = run_gemm(bx, problem)
+    point.gflops["BLASX"] = r_bx.gflops
+    point.tiles["BLASX"] = r_bx.tile_size
+    return point
+
+
 def run(scale: str = "quick",
         machines: Optional[Sequence[MachineConfig]] = None,
-        dtypes: Sequence = (np.float64, np.float32)) -> Fig7Result:
+        dtypes: Sequence = (np.float64, np.float32),
+        parallel=None) -> Fig7Result:
     machines = list(machines) if machines is not None else testbeds()
     result = Fig7Result(scale=scale)
     xt_tiles = XT_SWEEP[scale]
+    tasks = []
+    keys: List[Tuple[str, str, str]] = []
     for machine in machines:
-        models = models_for(machine, scale)
-        cc = CoCoPeLiaLibrary(machine, models)
-        xt = CublasXtLibrary(machine)
-        bx = BlasXLibrary(machine)
         for dtype in dtypes:
             prefix = "d" if np.dtype(dtype).itemsize == 8 else "s"
             routine = f"{prefix}gemm"
             for scenario in SCENARIOS:
-                pts: List[Fig7Point] = []
-                for problem in _scenario_problems(scenario, scale, dtype):
-                    point = Fig7Point(problem=problem.describe())
-                    r_cc = run_gemm(cc, problem)
-                    point.gflops["CoCoPeLia"] = r_cc.gflops
-                    point.tiles["CoCoPeLia"] = r_cc.tile_size
-                    best_xt = None
-                    for t in xt_tiles:
-                        if t > problem.min_dim():
-                            continue
-                        r = run_gemm(xt, problem, tile_size=t)
-                        if best_xt is None or r.seconds < best_xt.seconds:
-                            best_xt = r
-                    if best_xt is None:
-                        best_xt = run_gemm(xt, problem,
-                                           tile_size=problem.min_dim())
-                    point.gflops["cuBLASXt"] = best_xt.gflops
-                    point.tiles["cuBLASXt"] = best_xt.tile_size
-                    r_bx = run_gemm(bx, problem)
-                    point.gflops["BLASX"] = r_bx.gflops
-                    point.tiles["BLASX"] = r_bx.tile_size
-                    pts.append(point)
-                result.points[(machine.name, routine, scenario)] = pts
+                for i, problem in enumerate(
+                        _scenario_problems(scenario, scale, dtype)):
+                    seed_base = task_seed(_SEED_ROOT, machine.name,
+                                          routine, scenario, i)
+                    tasks.append((machine, scale, problem, xt_tiles,
+                                  seed_base))
+                    keys.append((machine.name, routine, scenario))
+    cfg = ParallelConfig.resolve(parallel)
+    payload = warm_payload(machines, scale) if cfg.enabled else []
+    points = pmap(_fig7_task, tasks, parallel=cfg,
+                  initializer=prime_worker, initargs=(payload,))
+    for key, point in zip(keys, points):
+        result.points.setdefault(key, []).append(point)
     return result
 
 

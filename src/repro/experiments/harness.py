@@ -28,23 +28,87 @@ from ..runtime.result import RunResult
 from ..sim.machine import MachineConfig, get_testbed
 
 #: In-process cache of deployed model databases, keyed by
-#: (machine name, scale); deployment is deterministic so this is safe.
-_MODEL_CACHE: Dict[Tuple[str, str], MachineModels] = {}
+#: (machine name, scale, config fingerprint); deployment is
+#: deterministic in those three, so the cache is safe — and parallel
+#: workers prime it once per process via :func:`prime_worker`.
+_MODEL_CACHE: Dict[Tuple, MachineModels] = {}
+
+
+def _config_fingerprint(config: Optional[DeploymentConfig]):
+    """Stable identity of a deployment config, for cache keying.
+
+    ``workers`` is deliberately excluded: the parallel layer guarantees
+    worker count never changes the deployed numbers, so a serial and a
+    fanned-out deployment of the same config share a cache entry.
+    """
+    if config is None:
+        return None
+    t, e = config.transfer, config.exec
+    return (
+        config.seed,
+        tuple((r, np.dtype(d).str) for r, d in config.routines),
+        (t.edges, t.dtype.str, t.latency_probes, t.rel_half_width,
+         t.confidence, t.min_reps, t.max_reps, t.opposite_factor),
+        (e.gemm_tiles, e.axpy_tiles, e.gemv_tiles, e.rel_half_width,
+         e.confidence, e.min_reps, e.max_reps),
+    )
+
+
+def _default_config(scale: str) -> DeploymentConfig:
+    if scale == "paper":
+        return DeploymentConfig()
+    return DeploymentConfig.quick()
 
 
 def models_for(machine: MachineConfig, scale: str = "quick",
-               force: bool = False) -> MachineModels:
-    """Deploy (or fetch cached) models for a machine at a given scale."""
-    key = (machine.name, scale)
+               force: bool = False,
+               config: Optional[DeploymentConfig] = None,
+               parallel=None) -> MachineModels:
+    """Deploy (or fetch cached) models for a machine at a given scale.
+
+    An explicit ``config`` gets its own cache entry (keyed by content,
+    not object identity), so force-deploying a custom sweep can never
+    serve stale models to callers of the default one.
+    """
+    key = (machine.name, scale, _config_fingerprint(config))
     if not force and key in _MODEL_CACHE:
         return _MODEL_CACHE[key]
-    if scale == "paper":
-        config = DeploymentConfig()
-    else:
-        config = DeploymentConfig.quick()
-    models = deploy(machine, config)
+    cfg = config if config is not None else _default_config(scale)
+    models = deploy(machine, cfg, parallel=parallel)
     _MODEL_CACHE[key] = models
     return models
+
+
+def clear_model_cache() -> None:
+    """Drop every cached model database (tests, worker hygiene)."""
+    _MODEL_CACHE.clear()
+
+
+def prime_model_cache(machine: MachineConfig, scale: str,
+                      models: MachineModels,
+                      config: Optional[DeploymentConfig] = None) -> None:
+    """Install an already-deployed database into the cache."""
+    _MODEL_CACHE[(machine.name, scale, _config_fingerprint(config))] = models
+
+
+def warm_payload(machines: Sequence[MachineConfig],
+                 scale: str = "quick") -> List[Tuple]:
+    """A picklable snapshot of the cache entries workers will need.
+
+    Deploys (through the cache) in the parent if necessary; ship the
+    result to :func:`prime_worker` via ``pmap(initializer=...)`` so
+    each worker process rebuilds its models exactly once instead of
+    unpickling them per task.
+    """
+    return [(machine, scale, models_for(machine, scale).to_dict())
+            for machine in machines]
+
+
+def prime_worker(payload: Sequence[Tuple]) -> None:
+    """Pool initializer: rebuild shipped model databases in-process."""
+    for machine, scale, models_dict in payload:
+        prime_model_cache(machine, scale,
+                          MachineModels.from_dict(models_dict))
 
 
 def problem_locs(problem: CoCoProblem) -> Dict[str, Loc]:
@@ -159,6 +223,48 @@ def standard_libraries(machine: MachineConfig, models: MachineModels,
         "UnifiedMem": UnifiedMemoryLibrary(machine),
         "Serial": SerialOffloadLibrary(machine),
     }
+
+
+#: Library display name -> class, shared with :class:`LibraryFactory`.
+_LIBRARY_CLASSES = {
+    "CoCoPeLia": CoCoPeLiaLibrary,
+    "cuBLASXt": CublasXtLibrary,
+    "BLASX": BlasXLibrary,
+    "UnifiedMem": UnifiedMemoryLibrary,
+    "Serial": SerialOffloadLibrary,
+}
+
+
+@dataclass(frozen=True)
+class LibraryFactory:
+    """A picklable recipe for rebuilding a library in a worker.
+
+    Library objects hold simulator state and models, so they do not
+    cross process boundaries; tasks ship this factory instead and call
+    it in the worker, where :func:`models_for` hits the per-process
+    warm cache.  ``seed`` overrides the library's default noise seed
+    (``None`` keeps it).
+    """
+
+    library: str
+    machine: MachineConfig
+    scale: str = "quick"
+    model: str = "auto"
+    seed: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.library not in _LIBRARY_CLASSES:
+            raise ReproError(
+                f"unknown library {self.library!r}; available: "
+                f"{sorted(_LIBRARY_CLASSES)}")
+
+    def __call__(self):
+        cls = _LIBRARY_CLASSES[self.library]
+        kwargs = {} if self.seed is None else {"seed": self.seed}
+        if cls is CoCoPeLiaLibrary:
+            return cls(self.machine, models_for(self.machine, self.scale),
+                       model=self.model, **kwargs)
+        return cls(self.machine, **kwargs)
 
 
 def testbeds(names: Optional[Sequence[str]] = None) -> List[MachineConfig]:

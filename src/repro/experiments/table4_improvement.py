@@ -17,13 +17,19 @@ import numpy as np
 
 from ..baselines import BlasXLibrary, CublasXtLibrary, UnifiedMemoryLibrary
 from ..core.params import CoCoProblem
+from ..parallel import ParallelConfig, pmap, task_seed
 from ..runtime import CoCoPeLiaLibrary
 from ..sim.machine import MachineConfig
 from . import workloads
 from .fig7_performance import XT_SWEEP
-from .harness import models_for, run_axpy, run_gemm, testbeds
+from .harness import (models_for, prime_worker, run_axpy, run_gemm,
+                      testbeds, warm_payload)
 from .metrics import geomean_improvement_pct, speedup
 from .report import format_table
+
+#: Root of the per-problem seed derivation (distinct from fig7's so
+#: the two sweeps never share noise streams).
+_SEED_ROOT = 7004
 
 
 @dataclass
@@ -57,52 +63,72 @@ def _best_competitor_gemm(problem: CoCoProblem, xt: CublasXtLibrary,
     return best
 
 
+def _table4_task(machine: MachineConfig, scale: str, problem: CoCoProblem,
+                 xt_tiles: Sequence[int], seed_base: int
+                 ) -> Tuple[float, float]:
+    """(t_CoCoPeLia, t_best_competitor) for one problem, self-contained.
+
+    gemm problems compete against the best of cuBLASXt's sweep and
+    BLASX; axpy problems against unified memory, as in Section V-E.
+    Libraries are rebuilt per task with grid-derived seeds, so the
+    measurement is execution-order independent.
+    """
+    models = models_for(machine, scale)
+    cc = CoCoPeLiaLibrary(machine, models, seed=task_seed(seed_base, "cc"))
+    if problem.routine.name == "axpy":
+        um = UnifiedMemoryLibrary(machine, seed=task_seed(seed_base, "um"))
+        return run_axpy(cc, problem).seconds, run_axpy(um, problem).seconds
+    xt = CublasXtLibrary(machine, seed=task_seed(seed_base, "xt"))
+    bx = BlasXLibrary(machine, seed=task_seed(seed_base, "bx"))
+    return (run_gemm(cc, problem).seconds,
+            _best_competitor_gemm(problem, xt, bx, xt_tiles))
+
+
 def run(scale: str = "quick",
         machines: Optional[Sequence[MachineConfig]] = None,
-        dtypes: Sequence = (np.float64, np.float32)) -> Table4Result:
+        dtypes: Sequence = (np.float64, np.float32),
+        parallel=None) -> Table4Result:
     machines = list(machines) if machines is not None else testbeds()
     result = Table4Result(scale=scale)
     xt_tiles = XT_SWEEP[scale]
+    tasks = []
+    meta: List[Tuple[str, str, str]] = []  # (machine, routine, bucket)
     for machine in machines:
-        models = models_for(machine, scale)
-        cc = CoCoPeLiaLibrary(machine, models)
-        xt = CublasXtLibrary(machine)
-        bx = BlasXLibrary(machine)
-        um = UnifiedMemoryLibrary(machine)
-        # --- gemm ---
         for dtype in dtypes:
             prefix = "d" if np.dtype(dtype).itemsize == 8 else "s"
-            ratios: Dict[str, List[float]] = {"full": [], "partial": []}
-            for problem in workloads.gemm_evaluation_set(scale, dtype):
-                t_cc = run_gemm(cc, problem).seconds
-                t_other = _best_competitor_gemm(problem, xt, bx, xt_tiles)
-                bucket = ("full" if workloads.is_full_offload(problem)
-                          else "partial")
-                ratios[bucket].append(speedup(t_other, t_cc))
-            for offload, vals in ratios.items():
-                if not vals:
-                    continue
-                result.cells.append(Table4Cell(
-                    machine=machine.name,
-                    routine=f"{prefix}gemm",
-                    offload=offload,
-                    improvement_pct=geomean_improvement_pct(vals),
-                    n_problems=len(vals),
-                ))
-        # --- daxpy vs unified memory ---
-        ratios = {"full": [], "partial": []}
-        for problem in workloads.daxpy_evaluation_set(scale):
-            t_cc = run_axpy(cc, problem).seconds
-            t_um = run_axpy(um, problem).seconds
-            bucket = ("full" if workloads.is_full_offload(problem)
-                      else "partial")
-            ratios[bucket].append(speedup(t_um, t_cc))
-        for offload, vals in ratios.items():
+            for i, problem in enumerate(
+                    workloads.gemm_evaluation_set(scale, dtype)):
+                seed_base = task_seed(_SEED_ROOT, machine.name,
+                                      f"{prefix}gemm", i)
+                tasks.append((machine, scale, problem, xt_tiles, seed_base))
+                meta.append((machine.name, f"{prefix}gemm",
+                             "full" if workloads.is_full_offload(problem)
+                             else "partial"))
+        for i, problem in enumerate(workloads.daxpy_evaluation_set(scale)):
+            seed_base = task_seed(_SEED_ROOT, machine.name, "daxpy", i)
+            tasks.append((machine, scale, problem, xt_tiles, seed_base))
+            meta.append((machine.name, "daxpy",
+                         "full" if workloads.is_full_offload(problem)
+                         else "partial"))
+    cfg = ParallelConfig.resolve(parallel)
+    payload = warm_payload(machines, scale) if cfg.enabled else []
+    times = pmap(_table4_task, tasks, parallel=cfg,
+                 initializer=prime_worker, initargs=(payload,))
+
+    # Aggregate per (machine, routine) in submission order, preserving
+    # the cell ordering the serial implementation produced.
+    ratios: Dict[Tuple[str, str], Dict[str, List[float]]] = {}
+    for (machine_name, routine, bucket), (t_cc, t_other) in zip(meta, times):
+        cell = ratios.setdefault((machine_name, routine),
+                                 {"full": [], "partial": []})
+        cell[bucket].append(speedup(t_other, t_cc))
+    for (machine_name, routine), buckets in ratios.items():
+        for offload, vals in buckets.items():
             if not vals:
                 continue
             result.cells.append(Table4Cell(
-                machine=machine.name,
-                routine="daxpy",
+                machine=machine_name,
+                routine=routine,
                 offload=offload,
                 improvement_pct=geomean_improvement_pct(vals),
                 n_problems=len(vals),

@@ -1,0 +1,20 @@
+"""Deterministic process-pool parallelism for grid-shaped work.
+
+The deployment micro-benchmark grid, the repeated-measurement loops,
+the per-problem figure sweeps, and the serving rate sweeps are all
+independent seeded simulations; this package fans them out across a
+``ProcessPoolExecutor`` without giving up the repo's byte-identical
+determinism contract (see :mod:`repro.parallel.pool` for the contract,
+DESIGN.md §7c for the rationale).
+"""
+
+from .pool import SERIAL, ParallelConfig, default_chunksize, pmap
+from .seeds import task_seed
+
+__all__ = [
+    "ParallelConfig",
+    "SERIAL",
+    "default_chunksize",
+    "pmap",
+    "task_seed",
+]

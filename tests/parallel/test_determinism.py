@@ -1,0 +1,163 @@
+"""Serial-vs-parallel byte-identity and the satellite regressions:
+model-cache keying by config identity, repetition seed pre-derivation,
+and the ``workers`` field on :class:`DeploymentConfig`."""
+
+import json
+from dataclasses import asdict
+
+import numpy as np
+import pytest
+
+from repro.core import gemm_problem
+from repro.deploy import DeploymentConfig, deploy
+from repro.errors import DeploymentError, ParallelError
+from repro.experiments import fig7_performance, harness, repetition
+from repro.experiments.harness import LibraryFactory
+from repro.parallel import pmap
+from repro.parallel.tasks import serve_rate_task
+from repro.runtime import CoCoPeLiaLibrary
+
+
+def _db_bytes(models) -> bytes:
+    return json.dumps(models.to_dict(), sort_keys=True).encode()
+
+
+class TestDeployDeterminism:
+    def test_parallel_deploy_byte_identical(self, tb2):
+        serial = deploy(tb2, DeploymentConfig.quick(workers=1))
+        fanned = deploy(tb2, DeploymentConfig.quick(workers=2))
+        assert _db_bytes(serial) == _db_bytes(fanned)
+
+    def test_parallel_override_byte_identical(self, tb2):
+        # An explicit parallel= argument wins over config.workers and
+        # still changes nothing.
+        serial = deploy(tb2, DeploymentConfig.quick())
+        fanned = deploy(tb2, DeploymentConfig.quick(), parallel=3)
+        assert _db_bytes(serial) == _db_bytes(fanned)
+
+
+class TestRepetitionDeterminism:
+    @pytest.fixture(scope="class")
+    def factory(self, tb2):
+        harness.prime_model_cache(tb2, "quick",
+                                  harness.models_for(tb2, "quick"))
+        return LibraryFactory("CoCoPeLia", tb2, scale="quick")
+
+    def test_serial_paths_agree(self, tb2, factory):
+        problem = gemm_problem(1024, 1024, 1024)
+        legacy = repetition.measure_repeated(
+            lib=factory(), problem=problem, tile_size=512, reps=12)
+        via_factory = repetition.measure_repeated(
+            lib_factory=factory, problem=problem, tile_size=512, reps=12)
+        assert legacy.samples == via_factory.samples
+
+    def test_parallel_samples_bit_identical(self, factory):
+        problem = gemm_problem(1024, 1024, 1024)
+        serial = repetition.measure_repeated(
+            lib_factory=factory, problem=problem, tile_size=512, reps=12)
+        fanned = repetition.measure_repeated(
+            lib_factory=factory, problem=problem, tile_size=512, reps=12,
+            parallel=2)
+        assert serial.samples == fanned.samples
+        assert serial.mean == fanned.mean
+        assert serial.std == fanned.std
+
+    def test_counter_left_where_sequential_run_would(self, factory):
+        problem = gemm_problem(1024, 1024, 1024)
+        lib = factory()
+        repetition.measure_repeated(lib=lib, problem=problem,
+                                    tile_size=512, reps=12)
+        assert lib._calls == 13  # 1 warmup + 12 reps
+
+    def test_parallel_requires_factory(self, tb2, models_tb2):
+        lib = CoCoPeLiaLibrary(tb2, models_tb2)
+        with pytest.raises(ParallelError, match="lib_factory"):
+            repetition.measure_repeated(
+                lib=lib, problem=gemm_problem(512, 512, 512),
+                tile_size=256, reps=4, parallel=2)
+
+
+class TestSweepDeterminism:
+    def test_fig7_points_identical(self, tb2):
+        kwargs = dict(scale="tiny", machines=[tb2],
+                      dtypes=(np.float64,))
+        serial = fig7_performance.run(**kwargs)
+        fanned = fig7_performance.run(parallel=2, **kwargs)
+
+        def dump(result):
+            return json.dumps(
+                {"|".join(k): [asdict(p) for p in v]
+                 for k, v in result.points.items()}, sort_keys=True)
+
+        assert dump(serial) == dump(fanned)
+
+    def test_serve_reports_identical(self, tb2):
+        harness.models_for(tb2, "quick")
+        tasks = [(tb2, "quick", rate, 24, 2, 11)
+                 for rate in (1000.0, 8000.0)]
+        serial = pmap(serve_rate_task, tasks)
+        fanned = pmap(serve_rate_task, tasks, parallel=2)
+        assert (json.dumps(serial, sort_keys=True)
+                == json.dumps(fanned, sort_keys=True))
+
+
+class TestModelCacheKeying:
+    def test_custom_config_gets_own_entry(self, tb2):
+        default = harness.models_for(tb2, "quick")
+        custom_cfg = DeploymentConfig.quick(
+            routines=(("gemm", np.float64),))
+        custom = harness.models_for(tb2, "quick", force=True,
+                                    config=custom_cfg)
+        assert custom is not default
+        # The force-deploy did not evict/replace the default entry.
+        assert harness.models_for(tb2, "quick") is default
+        assert harness.models_for(tb2, "quick",
+                                  config=custom_cfg) is custom
+
+    def test_workers_excluded_from_fingerprint(self):
+        a = harness._config_fingerprint(DeploymentConfig.quick(workers=1))
+        b = harness._config_fingerprint(DeploymentConfig.quick(workers=4))
+        assert a == b
+
+    def test_clear_model_cache(self, tb2):
+        a = harness.models_for(tb2, "quick")
+        harness.clear_model_cache()
+        try:
+            b = harness.models_for(tb2, "quick")
+            assert b is not a
+            assert _db_bytes(a) == _db_bytes(b)
+        finally:
+            # Re-prime so session-scoped fixtures in other files keep
+            # hitting the warm entry.
+            harness.prime_model_cache(tb2, "quick", a)
+
+    def test_warm_payload_roundtrip(self, tb2):
+        original = harness.models_for(tb2, "quick")
+        payload = harness.warm_payload([tb2], "quick")
+        harness.clear_model_cache()
+        try:
+            harness.prime_worker(payload)
+            rebuilt = harness.models_for(tb2, "quick")
+            assert _db_bytes(rebuilt) == _db_bytes(original)
+        finally:
+            harness.prime_model_cache(tb2, "quick", original)
+
+
+class TestDeploymentConfigWorkers:
+    def test_default_serial(self):
+        assert DeploymentConfig.quick().workers == 1
+        assert DeploymentConfig().workers == 1
+
+    def test_quick_accepts_workers(self):
+        assert DeploymentConfig.quick(workers=4).workers == 4
+        assert DeploymentConfig.quick(workers=0).workers == 0
+
+    def test_negative_workers_rejected(self):
+        with pytest.raises(DeploymentError, match="workers"):
+            DeploymentConfig.quick(workers=-2)
+
+    def test_non_int_workers_rejected(self):
+        with pytest.raises(DeploymentError, match="workers"):
+            DeploymentConfig.quick(workers=2.5)
+        with pytest.raises(DeploymentError, match="workers"):
+            DeploymentConfig.quick(workers=True)
