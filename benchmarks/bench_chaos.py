@@ -1,0 +1,112 @@
+"""Bench: serving-layer resilience under seeded chaos scenarios.
+
+Runs every chaos scenario from :mod:`repro.serve.chaos` against a
+4-GPU simulated machine with a fixed seed and renders the
+SLO-retention / recovery-time trajectory.  Claims checked:
+
+* request conservation holds in every scenario (nothing lost or
+  double-served by drains, requeues, or hedges);
+* killing one of four GPUs retains at least 80% of the fault-free
+  SLO attainment (the graceful-drain acceptance bar);
+* chaos documents are byte-stable for the fixed seed.
+
+The sweep is persisted as ``results/BENCH_chaos.json`` — the
+machine-readable resilience-trajectory artifact CI and future PRs
+diff against.
+"""
+
+import json
+
+from repro.experiments.harness import models_for
+from repro.experiments.report import format_table
+from repro.serve import ServerConfig, WorkloadSpec
+from repro.serve.chaos import SCENARIOS, dump_chaos_document, run_chaos
+from repro.sim.machine import get_testbed
+
+from conftest import emit
+
+BENCH_SEED = 11
+ARRIVAL_RATE = 8000.0
+N_REQUESTS = 48
+N_GPUS = 4
+
+
+def test_chaos_scenarios(benchmark, bench_scale, results_dir):
+    machine = get_testbed("testbed_ii")
+    models = models_for(machine, bench_scale)
+    spec = WorkloadSpec(n_requests=N_REQUESTS, rate=ARRIVAL_RATE,
+                        seed=BENCH_SEED)
+    config = ServerConfig(n_gpus=N_GPUS, seed=BENCH_SEED)
+
+    def run_all():
+        return {name: run_chaos(machine, models, name, spec=spec,
+                                config=config, seed=BENCH_SEED)
+                for name in sorted(SCENARIOS)}
+
+    docs = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    rows = []
+    sweep = []
+    for name, doc in docs.items():
+        chaos = doc["chaos"]
+        recovery = doc["recovery"]
+        stats = doc["resilience"]["stats"]
+        retention = doc["slo_retention"]
+        rows.append([
+            name,
+            chaos["completed"],
+            chaos["shed"],
+            chaos["failed"],
+            f"{retention:.0%}" if retention is not None else "n/a",
+            f"{recovery['n_recovered']}/{recovery['n_outages']}",
+            stats["drained_requests"],
+            stats["requeues"],
+        ])
+        sweep.append({
+            "scenario": name,
+            "slo_retention": retention,
+            "completed": chaos["completed"],
+            "shed": chaos["shed"],
+            "failed": chaos["failed"],
+            "p99_latency": chaos["p99_latency"],
+            "makespan": chaos["makespan"],
+            "outages": recovery["n_outages"],
+            "recovered": recovery["n_recovered"],
+            "mean_recovery_seconds": recovery["mean_recovery_seconds"],
+            "drained_requests": stats["drained_requests"],
+            "requeues": stats["requeues"],
+            "breaker_opens": stats["breaker_opens"],
+            "conservation_ok": doc["conservation"]["ok"],
+        })
+
+    emit(results_dir, "chaos_scenarios", format_table(
+        ["scenario", "done", "shed", "fail", "SLO ret.", "recov",
+         "drained", "requeued"],
+        rows,
+        title=f"Chaos scenarios, {N_REQUESTS} requests x{N_GPUS} GPUs "
+              f"(testbed_ii, seed {BENCH_SEED})",
+    ))
+    doc = {
+        "schema": "repro.bench-chaos/v1",
+        "machine": "testbed_ii",
+        "model_scale": bench_scale,
+        "seed": BENCH_SEED,
+        "n_requests": N_REQUESTS,
+        "n_gpus": N_GPUS,
+        "rate": ARRIVAL_RATE,
+        "sweep": sweep,
+    }
+    (results_dir / "BENCH_chaos.json").write_text(
+        json.dumps(doc, indent=2, sort_keys=True) + "\n")
+
+    # Conservation holds in every scenario.
+    for name, d in docs.items():
+        assert d["conservation"]["ok"], (name, d["conservation"])
+    # Graceful drain keeps kill-one-gpu SLO within 80% of fault-free.
+    kill = docs["kill-one-gpu"]
+    assert kill["slo_retention"] is not None
+    assert kill["slo_retention"] >= 0.8, kill["slo_retention"]
+    # Chaos documents are byte-stable for the fixed seed.
+    again = run_chaos(machine, models, "kill-one-gpu", spec=spec,
+                      config=config, seed=BENCH_SEED)
+    assert dump_chaos_document(again) == dump_chaos_document(kill)

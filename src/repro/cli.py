@@ -377,6 +377,86 @@ def cmd_serve(args) -> int:
     return 0
 
 
+def cmd_chaos(args) -> int:
+    """Run a chaos scenario against the serving layer; emit chaos.json."""
+    import os
+
+    from .serve import ServerConfig, WorkloadSpec
+    from .serve.chaos import SCENARIOS, dump_chaos_document, run_chaos
+
+    machine, models = _models_for(args)
+    spec = WorkloadSpec(
+        arrival=args.arrival,
+        rate=args.rate,
+        n_requests=args.requests,
+        scale=args.workload_scale,
+        seed=args.seed,
+    )
+    config = ServerConfig(
+        n_gpus=args.gpus,
+        placement=args.placement,
+        hedging=args.hedging,
+        seed=args.seed,
+    )
+    doc = run_chaos(
+        machine, models, args.scenario, spec=spec, config=config,
+        seed=args.seed, context={
+            "machine": args.machine,
+            "scale": args.scale,
+            "n_gpus": args.gpus,
+            "placement": args.placement,
+            "hedging": args.hedging,
+        })
+
+    os.makedirs(args.out_dir, exist_ok=True)
+    chaos_path = os.path.join(args.out_dir, "chaos.json")
+    with open(chaos_path, "w") as fh:
+        fh.write(dump_chaos_document(doc))
+
+    scenario = doc["scenario"]
+    base, chaos = doc["baseline"], doc["chaos"]
+    print(f"Chaos scenario {scenario['name']!r} on {machine.display_name} "
+          f"x{args.gpus} (seed {args.seed})")
+    print(f"  {scenario['description']}")
+
+    def _fmt(summary):
+        slo = summary["slo_attainment"]
+        p99 = summary["p99_latency"]
+        parts = [f"completed {summary['completed']}/{summary['total']}",
+                 f"shed {summary['shed']}", f"failed {summary['failed']}"]
+        if p99 is not None:
+            parts.append(f"p99 {p99 * 1e3:.2f} ms")
+        parts.append(f"SLO {slo:.1%}" if slo is not None else "SLO n/a")
+        return "  ".join(parts)
+
+    print(f"  baseline  {_fmt(base)}")
+    print(f"  chaos     {_fmt(chaos)}")
+    retention = doc["slo_retention"]
+    if retention is not None:
+        print(f"  SLO retention under failure: {retention:.1%}")
+    recovery = doc["recovery"]
+    print(f"  outages   {recovery['n_recovered']}/{recovery['n_outages']} "
+          f"recovered", end="")
+    if recovery["mean_recovery_seconds"] is not None:
+        print(f" (mean {recovery['mean_recovery_seconds'] * 1e3:.2f} ms, "
+              f"max {recovery['max_recovery_seconds'] * 1e3:.2f} ms)")
+    else:
+        print()
+    stats = doc["resilience"]["stats"]
+    print(f"  drained {stats['drained_requests']} requests in "
+          f"{stats['drains']} drains, {stats['requeues']} requeues, "
+          f"{stats['hedges']} hedges, {stats['breaker_opens']} breaker "
+          f"opens")
+    conservation = doc["conservation"]
+    print(f"  conservation: "
+          f"{'ok' if conservation['ok'] else 'VIOLATED'}")
+    if not conservation["ok"]:
+        for violation in conservation["violations"]:
+            print(f"    {violation['invariant']}: {violation['message']}")
+    print(f"  wrote {chaos_path}")
+    return 0 if conservation["ok"] else 1
+
+
 def cmd_select(args) -> int:
     machine, models = _models_for(args)
     problem = _build_problem(args)
@@ -528,6 +608,39 @@ def build_parser() -> argparse.ArgumentParser:
                          help="directory for serve.json (default: current "
                               "directory)")
 
+    from .serve.chaos import SCENARIOS as _CHAOS_SCENARIOS
+    p_chaos = sub.add_parser("chaos", help="serve a workload under a "
+                             "seeded device-failure scenario and report "
+                             "SLO retention / recovery")
+    _add_machine_args(p_chaos)
+    p_chaos.add_argument("--scenario", default="kill-one-gpu",
+                         choices=sorted(_CHAOS_SCENARIOS),
+                         help="chaos scenario (default: kill-one-gpu)")
+    p_chaos.add_argument("--gpus", type=int, default=4,
+                         help="simulated GPU count (default: 4)")
+    p_chaos.add_argument("--arrival", default="poisson",
+                         choices=("poisson", "bursty"),
+                         help="arrival process (default: poisson)")
+    p_chaos.add_argument("--rate", type=float, default=8000.0,
+                         help="arrival rate, requests/s (default: 8000)")
+    p_chaos.add_argument("--requests", type=int, default=48,
+                         help="workload size (default: 48)")
+    p_chaos.add_argument("--workload-scale", default="tiny",
+                         choices=("tiny", "quick"),
+                         help="problem-size mix (default: tiny)")
+    p_chaos.add_argument("--placement", default="model",
+                         choices=("model", "round_robin"),
+                         help="placement policy (default: model)")
+    p_chaos.add_argument("--hedging", action="store_true",
+                         help="mirror near-deadline solo requests onto a "
+                              "second worker (first completion wins)")
+    p_chaos.add_argument("--seed", type=int, default=0,
+                         help="scenario + workload + noise seed "
+                              "(default: 0)")
+    p_chaos.add_argument("--out-dir", default=".",
+                         help="directory for chaos.json (default: current "
+                              "directory)")
+
     p_sel = sub.add_parser("select", help="show per-tile predictions and "
                            "the selected tiling size")
     p_sel.add_argument("routine", choices=("gemm", "gemv", "syrk", "axpy"))
@@ -558,6 +671,7 @@ COMMANDS = {
     "run": cmd_run,
     "profile": cmd_profile,
     "serve": cmd_serve,
+    "chaos": cmd_chaos,
     "select": cmd_select,
     "experiment": cmd_experiment,
 }

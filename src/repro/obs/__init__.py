@@ -39,6 +39,7 @@ from .profiler import (
 )
 from .verify import (
     FAULT_SUFFIX,
+    find_conservation_violations,
     find_request_violations,
     find_violations,
     kernel_deps,
@@ -67,6 +68,7 @@ __all__ = [
     "spans_total",
     "validate_profile_json",
     "FAULT_SUFFIX",
+    "find_conservation_violations",
     "find_request_violations",
     "find_violations",
     "kernel_deps",

@@ -283,6 +283,47 @@ def find_request_violations(
     return violations
 
 
+def find_conservation_violations(
+    requests: Iterable[object],
+) -> List[Tuple[str, str]]:
+    """Request-conservation violations as ``(invariant, message)`` pairs.
+
+    Chaos runs drain failing fault domains, requeue their work, and may
+    hedge a request onto two workers at once.  Whatever the failure
+    pattern, every request offered to the server must end in **exactly
+    one** terminal state — done, shed, or failed — and must have
+    completed exactly once iff that state is done.  Anything else means
+    a drain or hedge lost the request (stuck queued/running, zero
+    completions) or double-served it (two completions).
+
+    ``requests`` are duck-typed: anything with ``state`` (whose
+    ``.name`` is one of the :class:`repro.serve.request.RequestState`
+    names) and an integer ``completions`` counter.
+    """
+    violations: List[Tuple[str, str]] = []
+    for req in requests:
+        rid = getattr(req, "req_id", "?")
+        state = getattr(req, "state", None)
+        name = getattr(state, "name", str(state))
+        completions = getattr(req, "completions", 0)
+        if name not in ("DONE", "SHED", "FAILED"):
+            violations.append((
+                "request-conservation",
+                f"request #{rid}: non-terminal final state {name} "
+                f"(lost by a drain or hedge)"))
+        elif name == "DONE" and completions != 1:
+            violations.append((
+                "request-conservation",
+                f"request #{rid}: DONE with {completions} completions "
+                f"(expected exactly 1)"))
+        elif name != "DONE" and completions != 0:
+            violations.append((
+                "request-conservation",
+                f"request #{rid}: {name} yet completed "
+                f"{completions} times"))
+    return violations
+
+
 def verify_requests(requests: Iterable[object], eps: float = 1e-12) -> None:
     """Raise :class:`TraceInvariantError` on the first request violation."""
     violations = find_request_violations(requests, eps=eps)

@@ -28,6 +28,12 @@ from .report import (
     validate_serve_json,
 )
 from .request import Request, RequestQueue, RequestState, ServeError
+from .resilience import (
+    DeviceHealth,
+    HealthMonitor,
+    HealthState,
+    ResilienceStats,
+)
 from .server import BlasServer, ServeOutcome, ServerConfig, WorkerStats
 from .workload import (
     ARRIVAL_KINDS,
@@ -41,8 +47,12 @@ __all__ = [
     "ADMISSION_MODES",
     "ARRIVAL_KINDS",
     "BlasServer",
+    "DeviceHealth",
     "Dispatcher",
     "HOST_WORKER",
+    "HealthMonitor",
+    "HealthState",
+    "ResilienceStats",
     "PLACEMENT_POLICIES",
     "Placement",
     "Request",

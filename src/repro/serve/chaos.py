@@ -1,0 +1,436 @@
+"""Seeded chaos scenarios for the serving layer.
+
+The chaos harness answers the question the fault-free serve report
+cannot: *what does the service do when a device dies under load?*  A
+scenario is a deterministic schedule of device-lifecycle faults
+(:class:`~repro.sim.faults.DeviceFailure` /
+:class:`~repro.sim.faults.DeviceDegradation` /
+:class:`~repro.sim.faults.LinkBrownout`) sized to the workload's
+arrival horizon.  :func:`run_chaos` serves the same seeded workload
+twice — once fault-free as the baseline, once under the scenario — and
+emits a versioned ``repro.chaos/v1`` document comparing the two:
+SLO-under-failure retention, recovery times mined from the health
+transition log, drain/requeue/breaker accounting, and the
+request-conservation invariant (every admitted request reaches exactly
+one terminal state; see
+:func:`repro.obs.verify.find_conservation_violations`).
+
+Everything is derived from the scenario seed through
+``np.random.default_rng([index, seed])`` substreams and the shared
+simulator clock, so one seed produces byte-identical documents — the
+property the CI chaos-smoke job pins with a byte compare.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..core.instantiation import MachineModels
+from ..errors import ReproError
+from ..obs.metrics import MetricsRegistry
+from ..obs.verify import find_conservation_violations
+from ..sim.faults import (
+    DeviceDegradation,
+    DeviceFailure,
+    FaultPlan,
+    LifecycleFault,
+    LinkBrownout,
+)
+from ..sim.machine import MachineConfig
+from .request import ServeError
+from .server import BlasServer, ServeOutcome, ServerConfig
+from .workload import WorkloadSpec, generate_workload, spec_as_dict
+
+CHAOS_SCHEMA_VERSION = "repro.chaos/v1"
+
+#: RNG substream index for scenario construction (device picks etc.).
+_CHAOS_STREAM = 9203
+
+
+@dataclass(frozen=True)
+class ChaosScenario:
+    """One named, fully materialized chaos schedule."""
+
+    name: str
+    description: str
+    lifecycle: Tuple[LifecycleFault, ...]
+
+    def plan(self) -> FaultPlan:
+        return FaultPlan(name=f"chaos:{self.name}",
+                         lifecycle=self.lifecycle)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "description": self.description,
+            "events": [event.as_dict() for event in self.lifecycle],
+        }
+
+
+def _horizon(spec: WorkloadSpec) -> float:
+    """Expected arrival span of the workload (scenario time base)."""
+    return spec.n_requests / spec.rate
+
+
+def _build_kill_one_gpu(spec: WorkloadSpec, n_gpus: int,
+                        seed: int) -> ChaosScenario:
+    """One seed-chosen device dies for good a quarter into the run."""
+    rng = np.random.default_rng([_CHAOS_STREAM, seed])
+    device = int(rng.integers(n_gpus))
+    h = _horizon(spec)
+    return ChaosScenario(
+        name="kill-one-gpu",
+        description=(f"device {device} fails permanently at "
+                     f"25% of the arrival horizon"),
+        lifecycle=(DeviceFailure(device=device, onset=0.25 * h),),
+    )
+
+
+def _build_rolling_brownout(spec: WorkloadSpec, n_gpus: int,
+                            seed: int) -> ChaosScenario:
+    """A brownout window sweeps across every device's link in turn."""
+    h = _horizon(spec)
+    window = 1.5 * h / max(n_gpus, 1)
+    events = tuple(
+        LinkBrownout(device=i, onset=i * h / max(n_gpus, 1),
+                     duration=window, bandwidth_factor=0.25)
+        for i in range(n_gpus))
+    return ChaosScenario(
+        name="rolling-brownout",
+        description=(f"PCIe bandwidth drops to 25% on each of the "
+                     f"{n_gpus} devices in a rolling window"),
+        lifecycle=events,
+    )
+
+
+def _build_flapping_device(spec: WorkloadSpec, n_gpus: int,
+                           seed: int) -> ChaosScenario:
+    """One seed-chosen device fails and recovers repeatedly."""
+    rng = np.random.default_rng([_CHAOS_STREAM + 1, seed])
+    device = int(rng.integers(n_gpus))
+    h = _horizon(spec)
+    events = tuple(
+        DeviceFailure(device=device, onset=(0.1 + 0.3 * i) * h,
+                      duration=0.12 * h)
+        for i in range(3))
+    return ChaosScenario(
+        name="flapping-device",
+        description=(f"device {device} fails and recovers three times "
+                     f"(12%-horizon outages)"),
+        lifecycle=events,
+    )
+
+
+def _build_all_gpus_degraded(spec: WorkloadSpec, n_gpus: int,
+                             seed: int) -> ChaosScenario:
+    """Every device clocks down 4x for the whole run (fleet-wide
+    thermal event); nobody fails, everything inflates."""
+    events = tuple(
+        DeviceDegradation(device=i, onset=0.0, slowdown=4.0)
+        for i in range(n_gpus))
+    return ChaosScenario(
+        name="all-gpus-degraded",
+        description=f"all {n_gpus} devices run 4x slower for the "
+                    f"whole run",
+        lifecycle=events,
+    )
+
+
+SCENARIOS: Dict[str, Callable[[WorkloadSpec, int, int], ChaosScenario]] = {
+    "kill-one-gpu": _build_kill_one_gpu,
+    "rolling-brownout": _build_rolling_brownout,
+    "flapping-device": _build_flapping_device,
+    "all-gpus-degraded": _build_all_gpus_degraded,
+}
+
+
+def build_scenario(name: str, spec: WorkloadSpec, n_gpus: int,
+                   seed: int) -> ChaosScenario:
+    """Materialize a named scenario for one workload/fleet/seed."""
+    try:
+        builder = SCENARIOS[name]
+    except KeyError:
+        raise ServeError(
+            f"unknown chaos scenario {name!r}; "
+            f"available: {sorted(SCENARIOS)}") from None
+    return builder(spec, n_gpus, seed)
+
+
+# ---------------------------------------------------------------------------
+# running
+# ---------------------------------------------------------------------------
+
+def _slo_attainment(outcome: ServeOutcome) -> Optional[float]:
+    with_deadline = [r for r in outcome.requests if r.deadline is not None]
+    if not with_deadline:
+        return None
+    met = sum(1 for r in with_deadline if r.slo_met)
+    return met / len(with_deadline)
+
+
+def _p99_latency(outcome: ServeOutcome) -> Optional[float]:
+    lat = sorted(r.latency for r in outcome.done_requests()
+                 if r.latency is not None)
+    if not lat:
+        return None
+    rank = max(0, math.ceil(0.99 * len(lat)) - 1)
+    return lat[rank]
+
+
+def _outcome_summary(outcome: ServeOutcome) -> Dict[str, object]:
+    done = outcome.done_requests()
+    makespan = outcome.end_time
+    return {
+        "total": len(outcome.requests),
+        "completed": len(done),
+        "shed": sum(1 for r in outcome.requests
+                    if r.state.name == "SHED"),
+        "failed": sum(1 for r in outcome.requests
+                      if r.state.name == "FAILED"),
+        "fallbacks": sum(1 for r in outcome.requests if r.fallback),
+        "requeued": sum(1 for r in outcome.requests if r.requeues > 0),
+        "hedged": sum(1 for r in outcome.requests if r.hedged),
+        "makespan": makespan,
+        "throughput_rps": (len(done) / makespan if makespan > 0 else 0.0),
+        "p99_latency": _p99_latency(outcome),
+        "slo_attainment": _slo_attainment(outcome),
+    }
+
+
+#: Transition events that open an outage on a device ...
+_DOWN_EVENTS = ("failed", "breaker-opened", "breaker-reopened")
+#: ... and the one that closes it again.
+_UP_EVENT = "recovered"
+
+
+def recovery_times(
+    transitions: List[Dict[str, object]],
+) -> Dict[str, object]:
+    """Mine per-device outage durations from the health transition log.
+
+    An outage opens at a ``failed``/``breaker-opened`` transition and
+    closes at the device's next ``recovered``; outages still open at
+    the end of the run (e.g. a permanent kill) count as unrecovered.
+    """
+    open_at: Dict[object, float] = {}
+    durations: List[float] = []
+    for tr in transitions:
+        device, event, t = tr["device"], tr["event"], tr["t"]
+        if event in _DOWN_EVENTS:
+            open_at.setdefault(device, t)
+        elif event == _UP_EVENT and device in open_at:
+            durations.append(t - open_at.pop(device))
+    return {
+        "n_outages": len(durations) + len(open_at),
+        "n_recovered": len(durations),
+        "n_unrecovered": len(open_at),
+        "mean_recovery_seconds": (sum(durations) / len(durations)
+                                  if durations else None),
+        "max_recovery_seconds": max(durations) if durations else None,
+    }
+
+
+def run_chaos(
+    machine: MachineConfig,
+    models: MachineModels,
+    scenario: str,
+    spec: Optional[WorkloadSpec] = None,
+    config: Optional[ServerConfig] = None,
+    seed: int = 0,
+    context: Optional[Dict[str, object]] = None,
+) -> Dict[str, object]:
+    """Run one chaos scenario and return the ``repro.chaos/v1`` document.
+
+    The same seeded workload is served twice on fresh servers sharing
+    nothing but the deployed models: once on the clean machine (the
+    baseline) and once with the scenario's lifecycle faults attached.
+    Both runs — and therefore the whole document — are deterministic
+    functions of ``seed``.
+    """
+    spec = spec if spec is not None else WorkloadSpec(
+        n_requests=48, rate=8000.0, seed=seed)
+    config = config if config is not None else ServerConfig(seed=seed)
+    built = build_scenario(scenario, spec, config.n_gpus, seed)
+
+    requests = generate_workload(spec)
+    baseline_metrics = MetricsRegistry()
+    baseline = BlasServer(
+        machine.with_faults(None), models, config,
+        metrics=baseline_metrics).serve(requests)
+
+    chaos_metrics = MetricsRegistry()
+    chaos = BlasServer(
+        machine.with_faults(built.plan()), models, config,
+        metrics=chaos_metrics).serve(generate_workload(spec))
+
+    violations = find_conservation_violations(chaos.requests)
+    base_slo = _slo_attainment(baseline)
+    chaos_slo = _slo_attainment(chaos)
+    retention = (chaos_slo / base_slo
+                 if base_slo not in (None, 0.0) and chaos_slo is not None
+                 else None)
+
+    doc: Dict[str, object] = {
+        "schema": CHAOS_SCHEMA_VERSION,
+        "context": dict(context or {}),
+        "scenario": dict(built.as_dict(), seed=seed),
+        "workload": spec_as_dict(spec),
+        "baseline": _outcome_summary(baseline),
+        "chaos": _outcome_summary(chaos),
+        "slo_retention": retention,
+        "recovery": recovery_times(chaos.health_transitions),
+        "resilience": {
+            "counters": (chaos.resilience.as_dict()
+                         if chaos.resilience is not None else {}),
+            "stats": (chaos.resilience_stats.as_dict()
+                      if chaos.resilience_stats is not None else {}),
+            "health": chaos.health,
+            "transitions": chaos.health_transitions,
+        },
+        "conservation": {
+            "ok": not violations,
+            "violations": [{"invariant": inv, "message": msg}
+                           for inv, msg in violations],
+        },
+        "metrics": chaos_metrics.as_dict(),
+    }
+    validate_chaos_json(doc)
+    return doc
+
+
+def dump_chaos_document(doc: Dict[str, object]) -> str:
+    """Canonical byte-stable rendering of a chaos document."""
+    return json.dumps(doc, indent=2, sort_keys=True) + "\n"
+
+
+# ---------------------------------------------------------------------------
+# schema validation (mirrors serve/report.py: JSON-path error messages)
+# ---------------------------------------------------------------------------
+
+def _fail(path: str, message: str) -> None:
+    raise ReproError(f"invalid chaos document at {path}: {message}")
+
+
+def _expect(doc: dict, path: str, key: str, types, allow_none=False):
+    if key not in doc:
+        _fail(f"{path}.{key}", "missing required field")
+    value = doc[key]
+    if value is None:
+        if allow_none:
+            return None
+        _fail(f"{path}.{key}", "must not be null")
+    if isinstance(value, bool) and types is not bool:
+        _fail(f"{path}.{key}", f"expected {types}, got bool")
+    if not isinstance(value, types):
+        names = getattr(types, "__name__", None) or "/".join(
+            t.__name__ for t in types)
+        _fail(f"{path}.{key}", f"expected {names}, got {type(value).__name__}")
+    return value
+
+
+def _expect_summary(parent: dict, path: str, key: str) -> None:
+    summary = _expect(parent, path, key, dict)
+    spath = f"{path}.{key}"
+    for field in ("total", "completed", "shed", "failed", "fallbacks",
+                  "requeued", "hedged"):
+        value = _expect(summary, spath, field, int)
+        if value < 0:
+            _fail(f"{spath}.{field}", f"must be >= 0, got {value}")
+    for field in ("makespan", "throughput_rps"):
+        value = _expect(summary, spath, field, (int, float))
+        if value < 0:
+            _fail(f"{spath}.{field}", f"must be >= 0, got {value}")
+    _expect(summary, spath, "p99_latency", (int, float), allow_none=True)
+    attainment = _expect(summary, spath, "slo_attainment", (int, float),
+                         allow_none=True)
+    if attainment is not None and not 0.0 <= attainment <= 1.0:
+        _fail(f"{spath}.slo_attainment",
+              f"must be in [0, 1], got {attainment}")
+
+
+def validate_chaos_json(doc: object) -> None:
+    """Check a chaos document against schema v1; raise on mismatch."""
+    if not isinstance(doc, dict):
+        _fail("$", f"expected an object, got {type(doc).__name__}")
+    schema = _expect(doc, "$", "schema", str)
+    if schema != CHAOS_SCHEMA_VERSION:
+        _fail("$.schema",
+              f"expected {CHAOS_SCHEMA_VERSION!r}, got {schema!r}")
+    _expect(doc, "$", "context", dict)
+
+    scenario = _expect(doc, "$", "scenario", dict)
+    name = _expect(scenario, "$.scenario", "name", str)
+    if name not in SCENARIOS:
+        _fail("$.scenario.name",
+              f"unknown scenario {name!r}; available: {sorted(SCENARIOS)}")
+    _expect(scenario, "$.scenario", "description", str)
+    _expect(scenario, "$.scenario", "seed", int)
+    events = _expect(scenario, "$.scenario", "events", list)
+    if not events:
+        _fail("$.scenario.events", "must schedule at least one fault")
+    for i, event in enumerate(events):
+        path = f"$.scenario.events[{i}]"
+        if not isinstance(event, dict):
+            _fail(path, "expected an object")
+        _expect(event, path, "kind", str)
+        device = _expect(event, path, "device", int)
+        if device < 0:
+            _fail(f"{path}.device", f"must be >= 0, got {device}")
+        onset = _expect(event, path, "onset", (int, float))
+        if onset < 0:
+            _fail(f"{path}.onset", f"must be >= 0, got {onset}")
+        _expect(event, path, "duration", (int, float), allow_none=True)
+
+    _expect(doc, "$", "workload", dict)
+    _expect_summary(doc, "$", "baseline")
+    _expect_summary(doc, "$", "chaos")
+    retention = _expect(doc, "$", "slo_retention", (int, float),
+                        allow_none=True)
+    if retention is not None and retention < 0:
+        _fail("$.slo_retention", f"must be >= 0, got {retention}")
+
+    recovery = _expect(doc, "$", "recovery", dict)
+    for key in ("n_outages", "n_recovered", "n_unrecovered"):
+        value = _expect(recovery, "$.recovery", key, int)
+        if value < 0:
+            _fail(f"$.recovery.{key}", f"must be >= 0, got {value}")
+    if (recovery["n_recovered"] + recovery["n_unrecovered"]
+            != recovery["n_outages"]):
+        _fail("$.recovery", "recovered + unrecovered must equal outages")
+    for key in ("mean_recovery_seconds", "max_recovery_seconds"):
+        _expect(recovery, "$.recovery", key, (int, float), allow_none=True)
+
+    resilience = _expect(doc, "$", "resilience", dict)
+    _expect(resilience, "$.resilience", "counters", dict)
+    _expect(resilience, "$.resilience", "stats", dict)
+    _expect(resilience, "$.resilience", "health", list)
+    _expect(resilience, "$.resilience", "transitions", list)
+
+    conservation = _expect(doc, "$", "conservation", dict)
+    ok = _expect(conservation, "$.conservation", "ok", bool)
+    violations = _expect(conservation, "$.conservation", "violations", list)
+    if ok and violations:
+        _fail("$.conservation", "ok=true but violations listed")
+    if not ok and not violations:
+        _fail("$.conservation", "ok=false requires violations")
+
+    metrics = _expect(doc, "$", "metrics", dict)
+    for key in ("counters", "gauges", "histograms"):
+        _expect(metrics, "$.metrics", key, dict)
+
+
+__all__ = [
+    "CHAOS_SCHEMA_VERSION",
+    "ChaosScenario",
+    "SCENARIOS",
+    "build_scenario",
+    "dump_chaos_document",
+    "recovery_times",
+    "run_chaos",
+    "validate_chaos_json",
+]

@@ -35,6 +35,7 @@ from ..core.select import TileChoice, select_tile
 from ..runtime.hybrid import host_gemm_time
 from ..sim.machine import MachineConfig
 from .request import Request, RequestQueue, ServeError
+from .resilience import HealthMonitor
 
 PLACEMENT_POLICIES = ("model", "round_robin")
 ADMISSION_MODES = ("none", "shed", "downgrade")
@@ -122,6 +123,7 @@ class Dispatcher:
         host_offload: bool = True,
         weight_cache_fraction: float = 0.5,
         prediction_cache: Optional[PredictionCache] = None,
+        monitor: Optional[HealthMonitor] = None,
     ) -> None:
         if n_gpus <= 0:
             raise ServeError(f"non-positive GPU count: {n_gpus}")
@@ -142,6 +144,9 @@ class Dispatcher:
         self.host_offload = host_offload
         self.gpus = [GpuState(i) for i in range(n_gpus)]
         self.host = HostState()
+        #: Optional health monitor: failed domains are excluded from
+        #: placement, degraded/half-open domains are score-penalized.
+        self.monitor = monitor
         self._cache_capacity = weight_cache_fraction * machine.gpu_mem_bytes
         self._rr_next = 0
         #: Memoized (model, problem signature) -> TileChoice scoring;
@@ -194,6 +199,9 @@ class Dispatcher:
 
     # -- placement -----------------------------------------------------
 
+    def _health_penalty(self, index: int) -> float:
+        return 1.0 if self.monitor is None else self.monitor.penalty(index)
+
     def _gpu_candidate(self, gpu: GpuState, request: Request,
                        now: float) -> Placement:
         hit = self._is_resident(gpu, request)
@@ -201,6 +209,9 @@ class Dispatcher:
                    else request.problem)
         choice = self.predict_gpu(problem)
         service = choice.predicted_time
+        penalty = self._health_penalty(gpu.index)
+        if penalty != 1.0:
+            service = service * penalty
         return Placement(
             worker=gpu_worker(gpu.index),
             tile=choice.t_best,
@@ -209,39 +220,64 @@ class Dispatcher:
             locality_hit=hit,
         )
 
-    def place(self, request: Request, now: float) -> Placement:
-        """Choose a worker for ``request`` under the configured policy."""
+    def place(self, request: Request, now: float) -> Optional[Placement]:
+        """Choose a worker for ``request`` under the configured policy.
+
+        Fault domains whose circuit breaker is open (``FAILED``) are
+        excluded; degraded/half-open domains stay in rotation with their
+        service predictions inflated by the observed health penalty.
+        Returns ``None`` only when every domain is failed and the host
+        cannot serve the routine — the caller must then shed.
+        """
+        monitor = self.monitor
         if self.policy == "round_robin":
-            gpu = self.gpus[self._rr_next % len(self.gpus)]
-            self._rr_next += 1
-            best = self._gpu_candidate(gpu, request, now)
+            gpu = None
+            for _ in range(len(self.gpus)):
+                candidate = self.gpus[self._rr_next % len(self.gpus)]
+                self._rr_next += 1
+                if monitor is None or monitor.available(candidate.index):
+                    gpu = candidate
+                    break
+            best = (self._gpu_candidate(gpu, request, now)
+                    if gpu is not None else None)
         else:
             # Equivalent to min() over _gpu_candidate results keyed by
             # (predicted_completion, worker), but builds only the one
             # winning Placement (this runs once per GPU per arrival).
             best_fields = best_key = None
             for gpu in self.gpus:
+                if monitor is not None and not monitor.available(gpu.index):
+                    continue
                 hit = self._is_resident(gpu, request)
                 problem = (_with_device_a(request.problem) if hit
                            else request.problem)
                 choice = self.predict_gpu(problem)
                 service = choice.predicted_time
+                penalty = self._health_penalty(gpu.index)
+                if penalty != 1.0:
+                    service = service * penalty
                 key = (now + gpu.backlog(now) + service,
                        gpu_worker(gpu.index))
                 if best_key is None or key < best_key:
                     best_key = key
                     best_fields = (key[1], choice.t_best, service, key[0],
                                    hit)
-            worker, tile, service, completion, hit = best_fields
-            best = Placement(
-                worker=worker, tile=tile, predicted_seconds=service,
-                predicted_completion=completion, locality_hit=hit,
-            )
-        if self.host_offload:
+            if best_fields is None:
+                best = None
+            else:
+                worker, tile, service, completion, hit = best_fields
+                best = Placement(
+                    worker=worker, tile=tile, predicted_seconds=service,
+                    predicted_completion=completion, locality_hit=hit,
+                )
+        # The host path competes when offload is enabled, and serves as
+        # the placement of last resort when every GPU domain is failed.
+        if self.host_offload or best is None:
             host_service = self.predict_host(request.problem)
             if host_service is not None:
                 host_completion = now + self.host.backlog(now) + host_service
-                if host_completion < best.predicted_completion:
+                if (best is None
+                        or host_completion < best.predicted_completion):
                     return Placement(
                         worker=HOST_WORKER, tile=None,
                         predicted_seconds=host_service,

@@ -18,9 +18,15 @@ Shape (validated by :func:`validate_serve_json`):
         "workers": [{worker, busy_seconds, utilization, batches,
                      requests, h2d_bytes, d2h_bytes, kernels,
                      locality_hits}, ...],   # gpus then host
-      },
+        "resilience": {counters, stats, health, transitions},  # faulted
+      },                                     # runs only (see below)
       "metrics": {counters, gauges, histograms},
     }
+
+The optional ``resilience`` block appears only when the run carried an
+active fault plan or the resilience machinery actually did something
+(drains, hedges, breaker trips) — fault-free documents stay
+byte-identical to pre-resilience servers.
 
 Documents are emitted with ``sort_keys=True`` and a fixed float
 representation (Python's repr), so the same seed produces the same
@@ -95,7 +101,7 @@ def serve_report(outcome: ServeOutcome) -> Dict[str, object]:
                     if r.batch_id is not None
                     and batch_sizes[r.batch_id] > 1)
 
-    return {
+    body: Dict[str, object] = {
         "requests": {
             "total": len(requests),
             "completed": len(done),
@@ -121,6 +127,32 @@ def serve_report(outcome: ServeOutcome) -> Dict[str, object]:
         "wait": latency_summary(waits) if waits else None,
         "prediction": prediction,
         "workers": workers,
+    }
+    resilience = _resilience_block(outcome)
+    if resilience is not None:
+        body["resilience"] = resilience
+    return body
+
+
+def _resilience_block(outcome: ServeOutcome) -> Optional[Dict[str, object]]:
+    """The fault-domain accounting block, or None on clean runs.
+
+    Emitted when the machine carried an active fault plan, or when the
+    resilience machinery demonstrably acted (a hedging-enabled run with
+    no faults still reports its hedges).  Plain fault-free runs omit
+    the key entirely so their documents stay byte-identical to servers
+    that predate fault domains.
+    """
+    stats = outcome.resilience_stats
+    acted = stats is not None and any(stats.as_dict().values())
+    if not outcome.faulted and not acted:
+        return None
+    return {
+        "counters": (outcome.resilience.as_dict()
+                     if outcome.resilience is not None else {}),
+        "stats": stats.as_dict() if stats is not None else {},
+        "health": list(outcome.health),
+        "transitions": list(outcome.health_transitions),
     }
 
 
@@ -243,6 +275,43 @@ def validate_serve_json(doc: object) -> None:
         for key in ("batches", "requests", "h2d_bytes", "d2h_bytes",
                     "kernels", "locality_hits"):
             _expect(worker, path, key, int)
+
+    if "resilience" in report:
+        resilience = _expect(report, "$.report", "resilience", dict)
+        path = "$.report.resilience"
+        counters = _expect(resilience, path, "counters", dict)
+        for key, value in counters.items():
+            if isinstance(value, bool) or not isinstance(value, int):
+                _fail(f"{path}.counters.{key}", "expected int")
+            if value < 0:
+                _fail(f"{path}.counters.{key}",
+                      f"must be >= 0, got {value}")
+        stats = _expect(resilience, path, "stats", dict)
+        for key, value in stats.items():
+            if isinstance(value, bool) or not isinstance(value, int):
+                _fail(f"{path}.stats.{key}", "expected int")
+            if value < 0:
+                _fail(f"{path}.stats.{key}", f"must be >= 0, got {value}")
+        health = _expect(resilience, path, "health", list)
+        for i, device in enumerate(health):
+            dpath = f"{path}.health[{i}]"
+            if not isinstance(device, dict):
+                _fail(dpath, "expected an object")
+            _expect(device, dpath, "index", int)
+            state = _expect(device, dpath, "state", str)
+            if state not in ("healthy", "degraded", "failed", "recovering"):
+                _fail(f"{dpath}.state", f"unknown health state {state!r}")
+            _expect_number(device, dpath, "ewma_inflation")
+        transitions = _expect(resilience, path, "transitions", list)
+        for i, tr in enumerate(transitions):
+            tpath = f"{path}.transitions[{i}]"
+            if not isinstance(tr, dict):
+                _fail(tpath, "expected an object")
+            t = _expect_number(tr, tpath, "t")
+            if t < 0:
+                _fail(f"{tpath}.t", f"must be >= 0, got {t}")
+            _expect(tr, tpath, "device", int)
+            _expect(tr, tpath, "event", str)
 
     metrics = _expect(doc, "$", "metrics", dict)
     for key in ("counters", "gauges", "histograms"):

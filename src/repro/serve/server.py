@@ -20,6 +20,18 @@ the batch's device is abandoned, its gemm members are re-dispatched to
 the host CPU worker (the serving analogue of the PR-1 host fallback),
 and the GPU moves on.
 
+Each GPU worker is additionally one *fault domain* with a
+:class:`~repro.serve.resilience.HealthMonitor` state machine behind it.
+Lifecycle faults from the machine's
+:class:`~repro.sim.faults.FaultPlan` (device failures, degradation and
+link-brownout windows) are scheduled on the serve clock; a failed
+domain's circuit breaker opens, its queued and in-flight work is
+drained and re-placed on survivors with arrival/deadline preserved, and
+after a cool-off the breaker goes half-open and admits one probe batch.
+Degradation is modelled physically — batches launched inside a window
+run on a genuinely slowed machine copy — so the monitor detects it the
+honest way, through inflated observed latencies.
+
 All simulated work, including the host CPU worker, is perturbed by the
 machine's seeded noise model, so two serves of the same workload on the
 same config are event-for-event identical.
@@ -27,8 +39,9 @@ same config are event-for-event identical.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from ..backend.cublas import CublasContext
 from ..core.instantiation import MachineModels
@@ -37,6 +50,7 @@ from ..runtime.routines import _host_operand
 from ..runtime.scheduler import AxpyTileScheduler, GemmTileScheduler
 from ..sim.device import GpuDevice
 from ..sim.engine import Simulator
+from ..sim.faults import LifecycleFault, ResilienceCounters
 from ..sim.link import Direction
 from ..sim.machine import MachineConfig
 from ..sim.noise import NoiseModel
@@ -53,6 +67,7 @@ from .dispatcher import (
     gpu_worker,
 )
 from .request import Request, RequestState, ServeError
+from .resilience import HealthMonitor, HealthState, ResilienceStats
 
 
 @dataclass(frozen=True)
@@ -75,6 +90,30 @@ class ServerConfig:
     timeout_floor: float = 0.05
     seed: int = 0
     trace: bool = False               #: record per-batch device traces
+    # -- fault-domain health (see serve/resilience.py) ------------------
+    #: EWMA smoothing of observed/predicted service-time inflation.
+    health_alpha: float = 0.25
+    #: EWMA inflation above which a domain is marked DEGRADED ...
+    degraded_inflation: float = 2.5
+    #: ... and below which it returns to HEALTHY (hysteresis band).
+    recovered_inflation: float = 1.25
+    #: Consecutive batch faults that open a domain's circuit breaker.
+    breaker_faults: int = 2
+    #: Simulated seconds an open breaker waits before going half-open.
+    breaker_cooloff: float = 0.05
+    #: Deadline hedging: mirror a near-deadline solo request onto a
+    #: second idle healthy worker; first completion wins.  Default off.
+    hedging: bool = False
+    #: Hedge when remaining deadline slack drops below
+    #: ``hedge_slack * predicted`` at dispatch.
+    hedge_slack: float = 1.0
+
+    # Fields that must be positive, finite numbers.  NaN would sail
+    # through ordinary "<=" comparisons (NaN <= x is False), so the
+    # check is explicit.
+    _POSITIVE_FINITE = ("timeout_factor", "timeout_floor",
+                        "breaker_cooloff", "hedge_slack", "health_alpha",
+                        "degraded_inflation", "recovered_inflation")
 
     def __post_init__(self) -> None:
         if self.placement not in PLACEMENT_POLICIES:
@@ -83,9 +122,27 @@ class ServerConfig:
             raise ServeError(f"unknown admission mode {self.admission!r}")
         if self.batch_max < 1:
             raise ServeError(f"batch_max must be >= 1: {self.batch_max}")
+        for name in self._POSITIVE_FINITE:
+            value = getattr(self, name)
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                raise ServeError(f"{name} must be a number, got {value!r}")
+            if math.isnan(value) or not math.isfinite(value) or value <= 0.0:
+                raise ServeError(
+                    f"{name} must be a positive finite number, got {value}")
         if self.timeout_factor <= 1.0:
             raise ServeError(
                 f"timeout_factor must exceed 1: {self.timeout_factor}")
+        if self.health_alpha > 1.0:
+            raise ServeError(
+                f"health_alpha must be in (0, 1]: {self.health_alpha}")
+        if self.recovered_inflation >= self.degraded_inflation:
+            raise ServeError(
+                f"recovered_inflation ({self.recovered_inflation}) must sit "
+                f"below degraded_inflation ({self.degraded_inflation})")
+        if not isinstance(self.breaker_faults, int) or self.breaker_faults < 1:
+            raise ServeError(
+                f"breaker_faults must be a positive int: "
+                f"{self.breaker_faults}")
 
 
 @dataclass
@@ -117,6 +174,18 @@ class ServeOutcome:
     #: self-contained trace that verifies on its own; one flat splice
     #: would alias tile tags across batches.
     gpu_traces: List[List[list]] = field(default_factory=list)
+    #: True when the machine carried a fault plan with any active fault
+    #: (the serve report emits its resilience block only then, keeping
+    #: fault-free reports byte-identical to pre-resilience runs).
+    faulted: bool = False
+    #: Aggregated per-device fault/retry counters across all batches.
+    resilience: Optional[ResilienceCounters] = None
+    #: Serve-level drain/requeue/hedge/breaker accounting.
+    resilience_stats: Optional[ResilienceStats] = None
+    #: Final per-domain health snapshot and the chronological
+    #: transition log (both JSON-ready; chaos reports mine these).
+    health: List[dict] = field(default_factory=list)
+    health_transitions: List[dict] = field(default_factory=list)
 
     def done_requests(self) -> List[Request]:
         return [r for r in self.requests if r.state is RequestState.DONE]
@@ -127,7 +196,8 @@ class _Batch:
 
     __slots__ = ("batch_id", "members", "problem", "worker", "t0",
                  "predicted", "device", "scheduler", "watchdog",
-                 "pending_ops", "settled", "locality_hit")
+                 "pending_ops", "settled", "locality_hit", "cancelled",
+                 "is_hedge", "twin")
 
     def __init__(self, batch_id: int, members: List[Request],
                  problem: CoCoProblem, worker: str, t0: float,
@@ -144,6 +214,12 @@ class _Batch:
         self.pending_ops = 0
         self.settled = False
         self.locality_hit = False
+        #: Cancelled batches (drained domain / lost hedge race) run
+        #: their remaining simulated events out but complete nobody.
+        self.cancelled = False
+        self.is_hedge = False
+        #: The other copy of a hedged request (primary <-> hedge).
+        self.twin: Optional["_Batch"] = None
 
 
 class BlasServer:
@@ -157,6 +233,13 @@ class BlasServer:
         self.config = config if config is not None else ServerConfig()
         self.metrics = metrics
         self.sim = Simulator()
+        self.monitor = HealthMonitor(
+            self.config.n_gpus,
+            alpha=self.config.health_alpha,
+            degraded_inflation=self.config.degraded_inflation,
+            recovered_inflation=self.config.recovered_inflation,
+            breaker_faults=self.config.breaker_faults,
+        )
         self.dispatcher = Dispatcher(
             machine, models, self.config.n_gpus,
             model=self.config.model, policy=self.config.placement,
@@ -164,6 +247,7 @@ class BlasServer:
             host_offload=self.config.host_offload,
             weight_cache_fraction=self.config.weight_cache_fraction,
             prediction_cache=prediction_cache,
+            monitor=self.monitor,
         )
         #: Host CPU service noise; its own substream so the host worker
         #: never perturbs the GPU devices' draws.
@@ -177,6 +261,20 @@ class BlasServer:
         self._gpu_traces: List[List[list]] = [
             [] for _ in range(self.config.n_gpus)]
         self._served = False
+        # -- fault-domain state --------------------------------------
+        #: In-flight batch per GPU index (drains cancel through this).
+        self._inflight: Dict[int, _Batch] = {}
+        #: Ground-truth degradation per GPU index, set by lifecycle
+        #: windows.  Deliberately invisible to monitor and dispatcher:
+        #: they only ever react to *observed* latency inflation.
+        self._slowdown = [1.0] * self.config.n_gpus
+        self._link_factor = [1.0] * self.config.n_gpus
+        #: Memoized degraded machine copies, keyed on the ground truth.
+        self._degraded: Dict[Tuple[float, float], MachineConfig] = {}
+        self._stats_res = ResilienceStats()
+        self._device_counters = ResilienceCounters()
+        plan = machine.fault_plan
+        self._faulted = plan is not None and plan.any_faults
 
     # -- public entry ---------------------------------------------------
 
@@ -186,6 +284,7 @@ class BlasServer:
             raise ServeError("a BlasServer instance serves exactly once")
         self._served = True
         self._requests = sorted(requests, key=lambda r: (r.arrival, r.req_id))
+        self._schedule_lifecycle()
         for request in self._requests:
             self.sim.schedule_at(request.arrival,
                                  lambda r=request: self._on_arrival(r))
@@ -200,7 +299,81 @@ class BlasServer:
             n_batches=self._next_batch,
             end_time=end,
             gpu_traces=self._gpu_traces,
+            faulted=self._faulted,
+            resilience=self._device_counters,
+            resilience_stats=self._stats_res,
+            health=self.monitor.snapshot(),
+            health_transitions=list(self.monitor.transitions),
         )
+
+    # -- fault-domain lifecycle ----------------------------------------
+
+    def _schedule_lifecycle(self) -> None:
+        """Put the fault plan's device-lifecycle events on the clock.
+
+        Events naming devices beyond this server's fleet are ignored
+        (a plan written for a larger deployment stays usable).
+        """
+        plan = self.machine.fault_plan
+        if plan is None or not plan.lifecycle:
+            return
+        for event in plan.lifecycle:
+            if event.device >= self.config.n_gpus:
+                continue
+            self.sim.schedule_at(
+                event.onset, lambda e=event: self._on_lifecycle_onset(e))
+            if math.isfinite(event.duration):
+                self.sim.schedule_at(
+                    event.end, lambda e=event: self._on_lifecycle_end(e))
+
+    def _on_lifecycle_onset(self, event: LifecycleFault) -> None:
+        index = event.device
+        if event.kind == "device_failure":
+            self._count("serve.device_failures")
+            self._fail_domain(index)
+        elif event.kind == "device_degradation":
+            self._slowdown[index] = event.slowdown
+        elif event.kind == "link_brownout":
+            self._link_factor[index] = event.bandwidth_factor
+
+    def _on_lifecycle_end(self, event: LifecycleFault) -> None:
+        index = event.device
+        if event.kind == "device_failure":
+            # The device came back: breaker goes half-open, one probe.
+            self._half_open(index)
+        elif event.kind == "device_degradation":
+            self._slowdown[index] = 1.0
+        elif event.kind == "link_brownout":
+            self._link_factor[index] = 1.0
+
+    def _fail_domain(self, index: int) -> None:
+        """A detected device failure: open the breaker and drain."""
+        if self.monitor.force_fail(index, self.sim.now):
+            self._drain_domain(self.dispatcher.gpus[index])
+
+    def _half_open(self, index: int) -> None:
+        """Cool-off elapsed or device returned: admit one probe batch."""
+        if self.monitor.begin_recovery(index, self.sim.now):
+            self._maybe_dispatch(gpu_worker(index))
+
+    def _batch_machine(self, index: int) -> MachineConfig:
+        """The machine a batch launched on ``index`` right now runs on.
+
+        While a degradation/brownout window is open the batch runs on a
+        genuinely slowed copy — the monitor then *observes* the window
+        through inflated latencies rather than being told about it.
+        """
+        slowdown = self._slowdown[index]
+        link = self._link_factor[index]
+        if slowdown == 1.0 and link == 1.0:
+            return self.machine
+        key = (slowdown, link)
+        machine = self._degraded.get(key)
+        if machine is None:
+            machine = self.machine.with_degradation(
+                compute_slowdown=slowdown, bandwidth_factor=link)
+            self._degraded[key] = machine
+        return machine
 
     # -- metrics helpers ------------------------------------------------
 
@@ -223,6 +396,15 @@ class BlasServer:
         now = self.sim.now
         self._count("serve.requests")
         placement = self.dispatcher.place(request, now)
+        if placement is None:
+            # Every fault domain is failed and the host cannot serve
+            # this routine: shedding is the only terminal state left.
+            request.enqueue_t = now
+            request.state = RequestState.SHED
+            self._stats_res.unavailable_shed += 1
+            self._count("serve.shed")
+            self._count("serve.unavailable_shed")
+            return
         decision = self.dispatcher.admit(request, placement)
         request.enqueue_t = now
         if decision == "shed":
@@ -246,6 +428,8 @@ class BlasServer:
     def _maybe_dispatch(self, worker: str) -> None:
         state = self.dispatcher.state_for(worker)
         if state.busy or not state.queue:
+            return
+        if worker != HOST_WORKER and not self.monitor.available(state.index):
             return
         now = self.sim.now
         head = state.queue.pop()
@@ -279,6 +463,17 @@ class BlasServer:
     # -- GPU execution --------------------------------------------------
 
     def _run_on_gpu(self, state: GpuState, batch: _Batch) -> None:
+        self._launch_on_device(state, batch)
+        if batch.settled or not self.config.hedging:
+            return
+        head = batch.members[0]
+        if (len(batch.members) == 1 and head.deadline is not None
+                and batch.twin is None and not batch.is_hedge):
+            slack = head.deadline - state.running_pred_end
+            if slack < self.config.hedge_slack * batch.predicted:
+                self._hedge(state, batch)
+
+    def _launch_on_device(self, state: GpuState, batch: _Batch) -> None:
         cfg = self.config
         head = batch.members[0]
         hit = self.dispatcher._is_resident(state, head)
@@ -292,7 +487,7 @@ class BlasServer:
         batch.problem = problem
 
         device = GpuDevice(
-            self.machine, sim=self.sim,
+            self._batch_machine(state.index), sim=self.sim,
             seed=cfg.seed + 37 * head.req_id + state.index,
             trace=cfg.trace, metrics=self.metrics,
         )
@@ -311,6 +506,11 @@ class BlasServer:
 
         state.busy = True
         state.running_pred_end = self.sim.now + batch.predicted
+        self._inflight[state.index] = batch
+        if (self.monitor.devices[state.index].state
+                is HealthState.RECOVERING):
+            self._stats_res.probes += 1
+            self._count("serve.probes")
         scheduler._issue()
 
         last_ops = [s.last_op for s in (scheduler.s_h2d, scheduler.s_exec,
@@ -326,6 +526,37 @@ class BlasServer:
         batch.watchdog = self.sim.schedule(
             deadline, lambda s=state, b=batch: self._on_timeout(s, b))
 
+    def _hedge(self, state: GpuState, batch: _Batch) -> None:
+        """Mirror a near-deadline solo request onto an idle worker.
+
+        First completion wins: the winner completes the request and
+        marks its twin cancelled; the loser's simulated pipeline runs
+        out without completing anybody.  Only an idle, queue-empty,
+        non-failed domain qualifies — hedges never steal capacity from
+        queued work.
+        """
+        mirror = None
+        for gpu in self.dispatcher.gpus:
+            if gpu.index == state.index or gpu.busy or gpu.queue:
+                continue
+            if not self.monitor.available(gpu.index):
+                continue
+            mirror = gpu
+            break
+        if mirror is None:
+            return
+        head = batch.members[0]
+        head.hedged = True
+        self._stats_res.hedges += 1
+        self._count("serve.hedges")
+        hedge = _Batch(self._next_batch, batch.members, head.problem,
+                       gpu_worker(mirror.index), self.sim.now, 0.0)
+        self._next_batch += 1
+        hedge.is_hedge = True
+        hedge.twin = batch
+        batch.twin = hedge
+        self._launch_on_device(mirror, hedge)
+
     def _on_stream_done(self, state: GpuState, batch: _Batch) -> None:
         batch.pending_ops -= 1
         if batch.pending_ops == 0 and not batch.settled:
@@ -335,22 +566,56 @@ class BlasServer:
         batch.settled = True
         if batch.watchdog is not None:
             batch.watchdog.cancel()
+        if self._inflight.get(state.index) is batch:
+            del self._inflight[state.index]
         end = self.sim.now
         service = end - batch.t0
         device = batch.device
         stats = self._stats[state.index]
         stats.busy_seconds += service
         stats.batches += 1
-        stats.requests += len(batch.members)
         if device is not None:
             stats.h2d_bytes += device.bytes_moved(Direction.H2D)
             stats.d2h_bytes += device.bytes_moved(Direction.D2H)
             stats.kernels += device.compute.kernels_run
+            self._device_counters.add(device.resilience)
         events = (list(device.trace.events)
                   if device is not None and device.trace is not None else None)
         if events is not None:
             self._gpu_traces[state.index].append(events)
+        if batch.cancelled:
+            # This copy lost its hedge race: the members already
+            # completed on the twin.  Account the device time, free the
+            # worker, complete nobody.
+            if batch.scheduler is not None:
+                batch.scheduler.release()
+            state.busy = False
+            state.running_pred_end = 0.0
+            self._maybe_dispatch(gpu_worker(state.index))
+            return
+        stats.requests += len(batch.members)
+        twin = batch.twin
+        if twin is not None:
+            if not twin.settled:
+                twin.cancelled = True
+            if batch.is_hedge:
+                self._stats_res.hedge_wins += 1
+                self._count("serve.hedge_wins")
+            else:
+                self._stats_res.hedge_cancels += 1
+                self._count("serve.hedge_cancels")
+        probe = (self.monitor.devices[state.index].state
+                 is HealthState.RECOVERING)
+        self.monitor.on_success(state.index, service, batch.predicted, end)
+        if probe:
+            self._stats_res.recoveries += 1
+            self._count("serve.recoveries")
         for member in batch.members:
+            if batch.is_hedge:
+                # The hedge copy won: attribute the execution to it.
+                member.worker = batch.worker
+                member.batch_id = batch.batch_id
+                member.dispatch_t = batch.t0
             self._complete_request(member, end, service, events)
         if batch.scheduler is not None:
             batch.scheduler.release()
@@ -364,6 +629,8 @@ class BlasServer:
         if batch.settled:
             return
         batch.settled = True
+        if self._inflight.get(state.index) is batch:
+            del self._inflight[state.index]
         end = self.sim.now
         stats = self._stats[state.index]
         stats.busy_seconds += end - batch.t0
@@ -372,25 +639,138 @@ class BlasServer:
         failures = (len(batch.device._fault_failures)
                     if batch.device is not None else 0)
         self._count("serve.fault_failures", max(failures, 1))
-        for member in batch.members:
-            if (self.config.host_offload
-                    and self.dispatcher.predict_host(member.problem)
-                    is not None):
-                member.fallback = True
-                member.state = RequestState.QUEUED
-                member.worker = HOST_WORKER
-                member.predicted_seconds = self.dispatcher.predict_host(
-                    member.problem)
-                self._count("serve.host_fallbacks")
-                self.dispatcher.host.queue.push(member)
-            else:
-                member.state = RequestState.FAILED
-                self._count("serve.failed")
+        if batch.device is not None:
+            self._device_counters.add(batch.device.resilience)
+        twin = batch.twin
+        if batch.cancelled or (twin is not None and not twin.settled):
+            # The members finished (or are still running) on the hedge
+            # twin; this wedged copy is abandoned without touching them.
+            pass
+        else:
+            for member in batch.members:
+                self._fallback_to_host(member)
+        opened = self.monitor.on_fault(state.index, end)
         state.busy = False
         state.running_pred_end = 0.0
+        if opened:
+            self._stats_res.breaker_opens += 1
+            self._count("serve.breaker_opens")
+            self._drain_domain(state)
+            self.sim.schedule(
+                self.config.breaker_cooloff,
+                lambda i=state.index: self._half_open(i))
         self._gauge_depth()
         self._maybe_dispatch(HOST_WORKER)
         self._maybe_dispatch(gpu_worker(state.index))
+
+    def _fallback_to_host(self, member: Request) -> None:
+        """Re-queue one member of a wedged batch onto the host worker.
+
+        The request keeps its original ``arrival`` and ``deadline``:
+        its EDF ``queue_key`` — and with it its honest slack against
+        everything already queued on the host — must not reset just
+        because a device ate its first attempt.  Only the service
+        prediction is refreshed for the new worker.
+        """
+        if (self.config.host_offload
+                and self.dispatcher.predict_host(member.problem)
+                is not None):
+            member.fallback = True
+            member.state = RequestState.QUEUED
+            member.worker = HOST_WORKER
+            member.predicted_seconds = self.dispatcher.predict_host(
+                member.problem)
+            self._count("serve.host_fallbacks")
+            self.dispatcher.host.queue.push(member)
+        else:
+            member.state = RequestState.FAILED
+            self._count("serve.failed")
+
+    # -- drain & requeue ------------------------------------------------
+
+    def _drain_domain(self, state: GpuState) -> None:
+        """Gracefully drain a failed domain.
+
+        The in-flight batch (if any) is cancelled — its simulated
+        pipeline runs out as a zombie that completes nobody — and both
+        its running members and the whole backlog are re-placed on
+        surviving workers with arrival/deadline preserved.  The weight
+        cache is invalidated: residency on a failed device is gone.
+        """
+        now = self.sim.now
+        self._stats_res.drains += 1
+        self._count("serve.drains")
+        moved: List[Request] = []
+        batch = self._inflight.pop(state.index, None)
+        if batch is not None and not batch.settled:
+            batch.settled = True
+            batch.cancelled = True
+            if batch.watchdog is not None:
+                batch.watchdog.cancel()
+            stats = self._stats[state.index]
+            stats.busy_seconds += now - batch.t0
+            stats.batches += 1
+            if batch.device is not None:
+                self._device_counters.add(batch.device.resilience)
+            twin = batch.twin
+            if twin is not None and not twin.settled:
+                # The hedge copy still runs elsewhere and becomes the
+                # sole runner; nothing to requeue for these members.
+                pass
+            else:
+                moved.extend(m for m in batch.members
+                             if m.state is RequestState.RUNNING)
+        while state.queue:
+            moved.append(state.queue.pop())
+        state.resident.clear()
+        state.busy = False
+        state.running_pred_end = 0.0
+        if moved:
+            self._stats_res.drained_requests += len(moved)
+            self._count("serve.drained_requests", len(moved))
+        targets: List[str] = []
+        for member in moved:
+            worker = self._requeue(member)
+            if worker is not None and worker not in targets:
+                targets.append(worker)
+        self._gauge_depth()
+        for worker in targets:
+            self._maybe_dispatch(worker)
+
+    def _requeue(self, request: Request) -> Optional[str]:
+        """Re-place one drained request on a surviving worker.
+
+        The original ``arrival`` and ``deadline`` are preserved — the
+        request keeps its true EDF slack — only the worker and its
+        admission-time prediction change.  Returns the new worker, or
+        None when every domain is failed and the host cannot serve the
+        routine (the request is then shed: still a terminal state, so
+        request conservation holds).
+        """
+        now = self.sim.now
+        request.requeues += 1
+        placement = self.dispatcher.place(request, now)
+        if placement is None:
+            request.state = RequestState.SHED
+            request.worker = None
+            self._stats_res.unavailable_shed += 1
+            self._count("serve.shed")
+            self._count("serve.unavailable_shed")
+            return None
+        request.state = RequestState.QUEUED
+        request.worker = placement.worker
+        request.dispatch_t = None
+        request.first_t = None
+        request.batch_id = None
+        if placement.worker == HOST_WORKER:
+            request.fallback = True
+        request.predicted_seconds = placement.predicted_seconds
+        request.predicted_completion = placement.predicted_completion
+        self._placements[request.req_id] = placement
+        self.dispatcher.state_for(placement.worker).queue.push(request)
+        self._stats_res.requeues += 1
+        self._count("serve.requeues")
+        return placement.worker
 
     # -- host execution -------------------------------------------------
 
@@ -426,6 +806,7 @@ class BlasServer:
     def _complete_request(self, request: Request, end: float,
                           service: float, events) -> None:
         request.state = RequestState.DONE
+        request.completions += 1
         request.completion_t = end
         request.service_seconds = service
         if events is not None:

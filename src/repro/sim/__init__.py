@@ -10,8 +10,13 @@ rationale.
 
 from .engine import Simulator
 from .faults import (
+    DeviceDegradation,
+    DeviceFailure,
     FaultInjector,
     FaultPlan,
+    LIFECYCLE_KINDS,
+    LifecycleFault,
+    LinkBrownout,
     NAMED_PLANS,
     ResilienceCounters,
     RetryPolicy,
@@ -29,8 +34,13 @@ from .trace import TraceRecorder, TraceEvent, render_timeline
 
 __all__ = [
     "Simulator",
+    "DeviceDegradation",
+    "DeviceFailure",
     "FaultInjector",
     "FaultPlan",
+    "LIFECYCLE_KINDS",
+    "LifecycleFault",
+    "LinkBrownout",
     "NAMED_PLANS",
     "ResilienceCounters",
     "RetryPolicy",

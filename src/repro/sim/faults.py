@@ -39,15 +39,116 @@ Fault categories:
 
 from __future__ import annotations
 
+import math
 import zlib
 from dataclasses import dataclass, field, fields, replace
-from typing import Dict, Optional, Tuple
+from typing import ClassVar, Dict, Optional, Tuple
 
 import numpy as np
 
 from ..errors import SimulationError
 
 FAULT_KINDS = ("h2d", "d2h", "kernel", "corrupt", "bandwidth", "alloc")
+
+LIFECYCLE_KINDS = ("device_failure", "device_degradation", "link_brownout")
+
+
+@dataclass(frozen=True)
+class LifecycleFault:
+    """One device-lifecycle event on the serve-time simulator clock.
+
+    Unlike the per-event fault categories above (which perturb a single
+    transfer or kernel), a lifecycle fault changes the *availability* of
+    a whole fault domain for a window of simulated time: it has an
+    ``onset`` and a ``duration`` (``math.inf`` = permanent) and is
+    interpreted by the serving layer, not by the per-device injector —
+    the device that dies is a property of the fleet, not of one
+    pipeline.  Subclasses fix ``kind``.
+    """
+
+    device: int        #: GPU index within the serving fleet
+    onset: float       #: absolute simulated seconds of the event start
+    duration: float = math.inf  #: seconds until recovery (inf = never)
+
+    kind: ClassVar[str] = ""
+
+    def __post_init__(self) -> None:
+        if self.device < 0:
+            raise SimulationError(
+                f"negative lifecycle fault device: {self.device}")
+        if not self.onset >= 0.0:
+            raise SimulationError(
+                f"lifecycle fault onset must be >= 0, got {self.onset}")
+        if not self.duration > 0.0:
+            raise SimulationError(
+                f"lifecycle fault duration must be > 0, got {self.duration}")
+
+    @property
+    def end(self) -> float:
+        """Absolute simulated time of recovery (``inf`` = permanent)."""
+        return self.onset + self.duration
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-ready description (infinite duration maps to null)."""
+        return {
+            "kind": self.kind,
+            "device": self.device,
+            "onset": self.onset,
+            "duration": (self.duration if math.isfinite(self.duration)
+                         else None),
+        }
+
+
+@dataclass(frozen=True)
+class DeviceFailure(LifecycleFault):
+    """The device dies at ``onset``: in-flight work is lost, the domain
+    must be drained, and nothing completes on it until recovery."""
+
+    kind: ClassVar[str] = "device_failure"
+
+
+@dataclass(frozen=True)
+class DeviceDegradation(LifecycleFault):
+    """The device clocks down: work launched during the window runs
+    ``slowdown`` times slower than the deployed models predict."""
+
+    slowdown: float = 2.0
+
+    kind: ClassVar[str] = "device_degradation"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not self.slowdown > 1.0 or not math.isfinite(self.slowdown):
+            raise SimulationError(
+                f"degradation slowdown must be a finite factor > 1, got "
+                f"{self.slowdown}")
+
+    def as_dict(self) -> Dict[str, object]:
+        doc = super().as_dict()
+        doc["slowdown"] = self.slowdown
+        return doc
+
+
+@dataclass(frozen=True)
+class LinkBrownout(LifecycleFault):
+    """The device's PCIe link browns out: transfers launched during the
+    window flow at ``bandwidth_factor`` of the nominal link rate."""
+
+    bandwidth_factor: float = 0.25
+
+    kind: ClassVar[str] = "link_brownout"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not 0.0 < self.bandwidth_factor < 1.0:
+            raise SimulationError(
+                f"brownout bandwidth_factor must be in (0, 1), got "
+                f"{self.bandwidth_factor}")
+
+    def as_dict(self) -> Dict[str, object]:
+        doc = super().as_dict()
+        doc["bandwidth_factor"] = self.bandwidth_factor
+        return doc
 
 
 @dataclass(frozen=True)
@@ -77,6 +178,10 @@ class FaultPlan:
     mem_pressure_rate: float = 0.0
     #: Explicit (kind, index) faults, independent of the rates.
     scheduled: Tuple[Tuple[str, int], ...] = ()
+    #: Serve-time device-lifecycle events (failures / degradations /
+    #: link brownouts).  Interpreted by the serving layer; the per-device
+    #: injector ignores them.
+    lifecycle: Tuple[LifecycleFault, ...] = ()
 
     def __post_init__(self) -> None:
         for name in ("transfer_fail_rate", "kernel_fail_rate",
@@ -103,16 +208,27 @@ class FaultPlan:
                 )
             if index < 0:
                 raise SimulationError(f"negative scheduled fault index: {index}")
+        for event in self.lifecycle:
+            if not isinstance(event, LifecycleFault):
+                raise SimulationError(
+                    f"lifecycle entries must be LifecycleFault instances, "
+                    f"got {event!r}")
 
     @property
-    def any_faults(self) -> bool:
-        """Whether this plan can inject anything at all."""
+    def any_event_faults(self) -> bool:
+        """Whether this plan injects per-event faults (a device-level
+        :class:`FaultInjector` is only needed for these)."""
         return bool(
             self.transfer_fail_rate or self.kernel_fail_rate
             or self.corruption_rate or self.bandwidth_collapse_rate
             or self.mem_pressure_bytes or self.mem_pressure_rate
             or self.scheduled
         )
+
+    @property
+    def any_faults(self) -> bool:
+        """Whether this plan can inject anything at all."""
+        return self.any_event_faults or bool(self.lifecycle)
 
     def with_seed(self, seed: int) -> "FaultPlan":
         return replace(self, seed=seed)
@@ -136,7 +252,8 @@ NAMED_PLANS: Dict[str, FaultPlan] = {
                        mem_pressure_rate=0.005),
 }
 
-_SPEC_FIELDS = {f.name for f in fields(FaultPlan)} - {"name", "scheduled"}
+_SPEC_FIELDS = {f.name for f in fields(FaultPlan)} - {"name", "scheduled",
+                                                     "lifecycle"}
 
 
 def resolve_plan(spec: "str | FaultPlan | None") -> Optional[FaultPlan]:
@@ -343,7 +460,11 @@ def as_injector(
     if isinstance(faults, FaultInjector):
         return faults
     if isinstance(faults, FaultPlan):
-        return FaultInjector(faults) if faults.any_faults else None
+        # Lifecycle-only plans need no per-device injector: a device
+        # failing or clocking down is fleet-level state, and skipping
+        # the injector keeps lifecycle-only devices on the fault-free
+        # fast path (byte-identical pipelines).
+        return FaultInjector(faults) if faults.any_event_faults else None
     raise SimulationError(f"expected FaultPlan or FaultInjector, got {faults!r}")
 
 

@@ -17,7 +17,7 @@ formulas — they only see micro-benchmark measurements of them.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from ..errors import BlasError
 from ..units import dtype_size
@@ -189,3 +189,28 @@ class KernelModelSet:
 
     def gemv_time(self, m: int, n: int, dtype) -> float:
         return self._gemv.time(m, n, dtype)
+
+    def scaled(self, factor: float) -> "KernelModelSet":
+        """A copy with every kernel ``factor`` times slower.
+
+        Models a clocked-down (thermally throttled / degraded) device:
+        sustained rates shrink uniformly while launch overheads — host
+        driver costs — stay put.  ``factor == 1`` returns ``self`` so
+        the healthy path shares the original (memoized) models.
+        """
+        if factor == 1.0:
+            return self
+        if not factor > 0.0 or not math.isfinite(factor):
+            raise BlasError(
+                f"kernel slowdown factor must be finite and > 0, got "
+                f"{factor}")
+        return KernelModelSet(
+            replace(self._gemm[8], peak_flops=self._gemm[8].peak_flops
+                    / factor),
+            replace(self._gemm[4], peak_flops=self._gemm[4].peak_flops
+                    / factor),
+            replace(self._axpy, mem_bandwidth=self._axpy.mem_bandwidth
+                    / factor),
+            gemv=replace(self._gemv, mem_bandwidth=self._gemv.mem_bandwidth
+                         / factor),
+        )

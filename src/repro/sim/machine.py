@@ -53,6 +53,34 @@ class MachineConfig:
         """A copy of this config with a fault-injection plan attached."""
         return replace(self, fault_plan=plan)
 
+    def with_degradation(self, compute_slowdown: float = 1.0,
+                         bandwidth_factor: float = 1.0) -> "MachineConfig":
+        """A copy modelling a degraded device / browned-out link.
+
+        ``compute_slowdown`` (>= 1) slows every kernel model uniformly
+        (a clocked-down GPU); ``bandwidth_factor`` (in (0, 1]) scales
+        both link directions (a browned-out PCIe link).  The serving
+        layer builds per-batch devices from this copy while a
+        :class:`~repro.sim.faults.DeviceDegradation` or
+        :class:`~repro.sim.faults.LinkBrownout` window is open; the
+        identity arguments return configs indistinguishable from the
+        healthy machine.
+        """
+        if not compute_slowdown >= 1.0:
+            raise ValueError(
+                f"compute_slowdown must be >= 1, got {compute_slowdown}")
+        if not 0.0 < bandwidth_factor <= 1.0:
+            raise ValueError(
+                f"bandwidth_factor must be in (0, 1], got {bandwidth_factor}")
+        if compute_slowdown == 1.0 and bandwidth_factor == 1.0:
+            return self
+        h2d, d2h = self.h2d, self.d2h
+        if bandwidth_factor != 1.0:
+            h2d = replace(h2d, bandwidth=h2d.bandwidth * bandwidth_factor)
+            d2h = replace(d2h, bandwidth=d2h.bandwidth * bandwidth_factor)
+        return replace(self, kernels=self.kernels.scaled(compute_slowdown),
+                       h2d=h2d, d2h=d2h)
+
 
 def testbed_i() -> MachineConfig:
     """Paper Testbed I: Intel host + NVIDIA Tesla K40, PCIe Gen2 x8.

@@ -248,3 +248,67 @@ class TestRequestExclusive:
         verify_trace(good_trace)  # trace alone is fine
         with pytest.raises(TraceInvariantError):
             verify_trace(good_trace, requests=bad_requests)
+
+
+class TestConservation:
+    """Request-conservation checker used by the chaos harness."""
+
+    class FakeState:
+        def __init__(self, name):
+            self.name = name
+
+    def req(self, rid, state, completions):
+        class R:
+            pass
+        r = R()
+        r.req_id = rid
+        r.state = self.FakeState(state)
+        r.completions = completions
+        return r
+
+    def test_terminal_states_with_right_completions_pass(self):
+        from repro.obs import find_conservation_violations
+
+        reqs = [self.req(0, "DONE", 1), self.req(1, "SHED", 0),
+                self.req(2, "FAILED", 0)]
+        assert find_conservation_violations(reqs) == []
+
+    def test_non_terminal_state_is_a_lost_request(self):
+        from repro.obs import find_conservation_violations
+
+        for stuck in ("QUEUED", "RUNNING", "PENDING"):
+            out = find_conservation_violations([self.req(0, stuck, 0)])
+            assert [inv for inv, _ in out] == ["request-conservation"]
+            assert stuck in out[0][1]
+
+    def test_done_must_complete_exactly_once(self):
+        from repro.obs import find_conservation_violations
+
+        zero = find_conservation_violations([self.req(3, "DONE", 0)])
+        twice = find_conservation_violations([self.req(4, "DONE", 2)])
+        assert len(zero) == len(twice) == 1
+        assert "2 completions" in twice[0][1]
+
+    def test_shed_or_failed_must_not_complete(self):
+        from repro.obs import find_conservation_violations
+
+        out = find_conservation_violations([self.req(5, "SHED", 1),
+                                            self.req(6, "FAILED", 1)])
+        assert len(out) == 2
+        assert all(inv == "request-conservation" for inv, _ in out)
+
+    def test_real_requests_are_accepted(self):
+        # The duck typing matches the real serve Request.
+        import numpy as np
+
+        from repro.core.params import gemm_problem
+        from repro.obs import find_conservation_violations
+        from repro.serve.request import Request, RequestState
+
+        r = Request(req_id=0, arrival=0.0,
+                    problem=gemm_problem(64, 64, 64, np.float64))
+        out = find_conservation_violations([r])
+        assert out and "CREATED" in out[0][1]
+        r.state = RequestState.DONE
+        r.completions = 1
+        assert find_conservation_violations([r]) == []

@@ -130,3 +130,68 @@ class TestRejections:
         with pytest.raises(ReproError,
                            match=r"\$\.report\.workers\[1\]\.kernels"):
             validate_serve_json(self._mutated(document, mutate))
+
+
+class TestResilienceBlock:
+    """The optional ``report.resilience`` key: absent on clean runs,
+    present and validated on faulted ones."""
+
+    @pytest.fixture(scope="class")
+    def faulted_document(self, tb2, models_tb2):
+        from repro.sim.faults import DeviceFailure, FaultPlan
+
+        plan = FaultPlan(name="kill0", lifecycle=(
+            DeviceFailure(device=0, onset=1e-3),))
+        spec = WorkloadSpec(n_requests=24, rate=6000.0, seed=9)
+        server = BlasServer(tb2.with_faults(plan), models_tb2,
+                            ServerConfig(n_gpus=2, seed=9))
+        outcome = server.serve(generate_workload(spec))
+        return serve_document(outcome)
+
+    def test_clean_document_has_no_resilience_key(self, document):
+        assert "resilience" not in document["report"]
+
+    def test_faulted_document_carries_resilience(self, faulted_document):
+        res = faulted_document["report"]["resilience"]
+        assert set(res) == {"counters", "stats", "health", "transitions"}
+        assert res["stats"]["drains"] >= 1
+        states = {d["state"] for d in res["health"]}
+        assert states <= {"healthy", "degraded", "failed", "recovering"}
+        validate_serve_json(faulted_document)
+
+    def _mutated(self, document, mutate):
+        doc = copy.deepcopy(document)
+        mutate(doc)
+        return doc
+
+    def test_rejects_negative_stat(self, faulted_document):
+        def mutate(d):
+            d["report"]["resilience"]["stats"]["drains"] = -1
+        with pytest.raises(ReproError, match=r"resilience\.stats\.drains"):
+            validate_serve_json(self._mutated(faulted_document, mutate))
+
+    def test_rejects_non_int_counter(self, faulted_document):
+        def mutate(d):
+            d["report"]["resilience"]["counters"]["retries"] = 1.5
+        with pytest.raises(ReproError,
+                           match=r"resilience\.counters\.retries"):
+            validate_serve_json(self._mutated(faulted_document, mutate))
+
+    def test_rejects_unknown_health_state(self, faulted_document):
+        def mutate(d):
+            d["report"]["resilience"]["health"][0]["state"] = "zombie"
+        with pytest.raises(ReproError, match="zombie"):
+            validate_serve_json(self._mutated(faulted_document, mutate))
+
+    def test_rejects_malformed_transition(self, faulted_document):
+        def mutate(d):
+            d["report"]["resilience"]["transitions"][0].pop("event")
+        with pytest.raises(ReproError,
+                           match=r"transitions\[0\]\.event"):
+            validate_serve_json(self._mutated(faulted_document, mutate))
+
+    def test_rejects_negative_transition_time(self, faulted_document):
+        def mutate(d):
+            d["report"]["resilience"]["transitions"][0]["t"] = -0.5
+        with pytest.raises(ReproError, match=r"transitions\[0\]\.t"):
+            validate_serve_json(self._mutated(faulted_document, mutate))

@@ -5,6 +5,8 @@ determinism of FaultInjector substreams, and the device-level retry /
 refetch / abort machinery the injector drives.
 """
 
+import math
+
 import numpy as np
 import pytest
 
@@ -17,10 +19,13 @@ from repro.errors import (
     TransientFaultError,
 )
 from repro.sim import (
+    DeviceDegradation,
+    DeviceFailure,
     Direction,
     FaultInjector,
     FaultPlan,
     GpuDevice,
+    LinkBrownout,
     NAMED_PLANS,
     ResilienceCounters,
     RetryPolicy,
@@ -401,3 +406,84 @@ class TestNoiseSubstreams:
         assert n.duration_factor() == 1.0
         assert n.latency_factor() == 1.0
         assert n.rate_factor() == 1.0
+
+
+class TestLifecycleFaults:
+    """Serve-time device-lifecycle events on the FaultPlan."""
+
+    def test_failure_validation(self):
+        DeviceFailure(device=0, onset=0.0)  # permanent kill is legal
+        with pytest.raises(SimulationError, match="device"):
+            DeviceFailure(device=-1, onset=0.0)
+        with pytest.raises(SimulationError, match="onset"):
+            DeviceFailure(device=0, onset=-1.0)
+        with pytest.raises(SimulationError, match="onset"):
+            DeviceFailure(device=0, onset=math.nan)
+        with pytest.raises(SimulationError, match="duration"):
+            DeviceFailure(device=0, onset=0.0, duration=0.0)
+
+    def test_degradation_validation(self):
+        with pytest.raises(SimulationError, match="slowdown"):
+            DeviceDegradation(device=0, onset=0.0, slowdown=1.0)
+        with pytest.raises(SimulationError, match="slowdown"):
+            DeviceDegradation(device=0, onset=0.0, slowdown=math.inf)
+
+    def test_brownout_validation(self):
+        for factor in (0.0, 1.0, -0.5):
+            with pytest.raises(SimulationError, match="bandwidth_factor"):
+                LinkBrownout(device=0, onset=0.0, bandwidth_factor=factor)
+
+    def test_end_and_as_dict(self):
+        blip = DeviceFailure(device=1, onset=0.5, duration=0.25)
+        assert blip.end == 0.75
+        assert blip.as_dict() == {"kind": "device_failure", "device": 1,
+                                  "onset": 0.5, "duration": 0.25}
+        forever = DeviceFailure(device=0, onset=1.0)
+        assert forever.end == math.inf
+        assert forever.as_dict()["duration"] is None  # JSON-safe
+        slow = DeviceDegradation(device=0, onset=0.0, slowdown=3.0)
+        assert slow.as_dict()["slowdown"] == 3.0
+        brown = LinkBrownout(device=0, onset=0.0, bandwidth_factor=0.25)
+        assert brown.as_dict()["bandwidth_factor"] == 0.25
+
+    def test_plan_accepts_lifecycle_tuple(self):
+        plan = FaultPlan(name="mixed", lifecycle=(
+            DeviceFailure(device=0, onset=1.0),))
+        assert plan.any_faults
+        # Lifecycle-only plans drive no per-event injector: the
+        # byte-identity of fault-free pipelines depends on this split.
+        assert not plan.any_event_faults
+
+    def test_plan_rejects_non_lifecycle_entries(self):
+        with pytest.raises(SimulationError, match="LifecycleFault"):
+            FaultPlan(name="bad", lifecycle=("kill gpu 0",))
+
+
+class TestDegradedMachineModels:
+    def test_scaled_kernels_slow_uniformly(self, tb2):
+        clean = tb2.kernels
+        slow = clean.scaled(4.0)
+        t_clean = clean.gemm_time(2048, 2048, 2048, np.float64)
+        assert slow.gemm_time(2048, 2048, 2048, np.float64) > t_clean
+        assert slow.axpy_time(1 << 20, np.float64) > clean.axpy_time(
+            1 << 20, np.float64)
+        # Identity factor shares the memoized models.
+        assert clean.scaled(1.0) is clean
+
+    def test_with_degradation_scales_links_and_kernels(self, tb2):
+        degraded = tb2.with_degradation(compute_slowdown=2.0,
+                                        bandwidth_factor=0.5)
+        assert degraded.h2d.bandwidth == tb2.h2d.bandwidth * 0.5
+        assert degraded.d2h.bandwidth == tb2.d2h.bandwidth * 0.5
+        assert (degraded.kernels.gemm_time(1024, 1024, 1024, np.float64)
+                > tb2.kernels.gemm_time(1024, 1024, 1024, np.float64))
+        # Identity arguments hand back the same config object.
+        assert tb2.with_degradation() is tb2
+
+    def test_with_degradation_validates(self, tb2):
+        with pytest.raises(ValueError, match="compute_slowdown"):
+            tb2.with_degradation(compute_slowdown=0.5)
+        with pytest.raises(ValueError, match="bandwidth_factor"):
+            tb2.with_degradation(bandwidth_factor=0.0)
+        with pytest.raises(ValueError, match="bandwidth_factor"):
+            tb2.with_degradation(bandwidth_factor=1.5)
