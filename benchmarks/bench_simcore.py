@@ -1,0 +1,335 @@
+"""Bench: simulator-core scale-up gate (calendar queue + fluid flows).
+
+Measures the two workloads the simulator-core PR targets:
+
+* ``link_saturated`` — a deep bidirectional backlog of large transfers
+  on one duplex link, the workload the hybrid fluid-flow regime
+  collapses.  Run under three engines: the exact discrete-event engine
+  on the legacy binary heap, the same exact engine on the calendar
+  queue, and fluid mode (calendar queue + analytic windows).  The
+  acceptance floor is the *fluid vs heap* event-throughput speedup.
+* ``serving_core`` — the end-to-end serving loop (dispatcher, batch
+  scheduler, prediction models, DES) at quick scale, in exact and
+  fluid mode.  The floor is *simulated requests per wall-clock
+  minute*, the capacity number the fault-domain serving work budgets
+  against.
+
+``--record`` runs the workloads and writes
+``results/BENCH_simcore.json``; ``--validate`` checks the committed
+document's schema, internal coherence (recorded ratios match the
+recorded timings), and the acceptance floors.  Validation reads the
+committed JSON only — it never re-measures — so CI can enforce the
+floors deterministically on any runner.  ``--determinism`` proves the
+scale-up is semantics-preserving: same-seed exact-mode serve runs are
+byte-identical, heap and calendar schedulers emit byte-identical
+reports, and the fluid storm stays inside its pinned makespan error.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_simcore.py --scale quick
+    PYTHONPATH=src python benchmarks/bench_simcore.py --record \
+        --json benchmarks/results/BENCH_simcore.json
+    PYTHONPATH=src python benchmarks/bench_simcore.py --validate
+    PYTHONPATH=src python benchmarks/bench_simcore.py --determinism
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+DEFAULT_JSON = RESULTS_DIR / "BENCH_simcore.json"
+
+SCHEMA = "repro.bench_simcore/v1"
+
+#: Acceptance floor (ISSUE 7): fluid mode must clear the heap engine by
+#: at least this factor on the link-saturated storm.
+SPEEDUP_FLOOR = 5.0
+
+#: Acceptance floor (ISSUE 7): simulated requests per wall-clock minute
+#: for the quick-scale serving core, in both exact and fluid mode.
+THROUGHPUT_FLOOR_PER_MIN = 100_000
+
+BENCH_SEED = 11
+
+#: 8 MiB — above the fluid collapse floor (~5.1 MB on this link), so
+#: the storm is window-eligible end to end.
+CHUNK_BYTES = 8 << 20
+
+_SCALES = {
+    #          chunks/direction   serve requests
+    "tiny":    (2_000,            128),
+    "quick":   (20_000,           1_024),
+    "paper":   (100_000,          4_096),
+}
+
+#: engine label -> (Simulator mode, scheduler kind)
+ENGINES = {
+    "exact_heap": ("exact", "heap"),
+    "exact_calendar": ("exact", "calendar"),
+    "fluid": ("fluid", "calendar"),
+}
+
+
+# ---------------------------------------------------------------------------
+# workloads
+# ---------------------------------------------------------------------------
+
+def _storm_link(sim):
+    from repro.sim import DuplexLink, LinkDirectionConfig
+
+    return DuplexLink(
+        sim,
+        h2d=LinkDirectionConfig(latency=1e-5, bandwidth=8e9,
+                                bid_slowdown=1.3),
+        d2h=LinkDirectionConfig(latency=1e-5, bandwidth=6e9,
+                                bid_slowdown=1.8),
+    )
+
+
+def run_link_storm(engine: str, n: int) -> dict:
+    """Drain a 2x``n``-chunk bidirectional backlog; time ``sim.run()``.
+
+    The backlog is submitted up front (deep FIFO, the fluid regime's
+    home turf); only the drain is timed, so the three engines are
+    compared on identical pending work.
+    """
+    from repro.sim import Direction, Simulator
+
+    mode, scheduler = ENGINES[engine]
+    sim = Simulator(mode=mode, scheduler=scheduler)
+    link = _storm_link(sim)
+    for _ in range(n):
+        link.submit(Direction.H2D, CHUNK_BYTES)
+        link.submit(Direction.D2H, CHUNK_BYTES)
+    t0 = time.perf_counter()
+    sim.run()
+    seconds = time.perf_counter() - t0
+    stats = link.stats(Direction.H2D)
+    assert stats.transfers == n, (engine, stats.transfers)
+    return {"seconds": seconds, "makespan": sim.now}
+
+
+def _serving_setup():
+    from repro.experiments.harness import models_for
+    from repro.serve import WorkloadSpec, generate_workload
+    from repro.sim.machine import get_testbed
+
+    machine = get_testbed("testbed_ii")
+    models = models_for(machine, "quick")
+
+    def make_requests(n: int):
+        spec = WorkloadSpec(arrival="poisson", rate=8000.0, n_requests=n,
+                            scale="tiny", seed=BENCH_SEED)
+        return generate_workload(spec)
+
+    return machine, models, make_requests
+
+
+def run_serving(machine, models, requests, mode: str) -> float:
+    """Serve a pre-generated workload; time ``serve()`` only."""
+    from repro.serve import BlasServer, ServerConfig
+
+    server = BlasServer(machine, models,
+                        ServerConfig(n_gpus=4, seed=BENCH_SEED,
+                                     sim_mode=mode))
+    t0 = time.perf_counter()
+    outcome = server.serve(requests)
+    seconds = time.perf_counter() - t0
+    # Conservation, not completion: at this depth some requests time
+    # out, but every submitted request must reach a settled outcome.
+    assert len(outcome.requests) == len(requests), (mode, len(outcome.requests))
+    return seconds
+
+
+# ---------------------------------------------------------------------------
+# recording
+# ---------------------------------------------------------------------------
+
+def _best(fn, reps: int) -> float:
+    """Best-of-``reps`` (min is the stable wall-clock statistic)."""
+    return min(fn() for _ in range(reps))
+
+
+def run_all(scale: str, reps: int) -> dict:
+    n_chunks, n_requests = _SCALES[scale]
+
+    link_entry: dict = {"chunks_per_direction": n_chunks,
+                        "chunk_bytes": CHUNK_BYTES}
+    for engine in ENGINES:
+        seconds = _best(lambda: run_link_storm(engine, n_chunks)["seconds"],
+                        reps)
+        link_entry[f"{engine}_seconds"] = seconds
+        print(f"  link_saturated/{engine:<15} {seconds * 1e3:9.1f} ms  "
+              f"(best of {reps})")
+    link_entry["fluid_vs_heap_speedup"] = (
+        link_entry["exact_heap_seconds"] / link_entry["fluid_seconds"])
+    print(f"  link_saturated fluid-vs-heap speedup: "
+          f"{link_entry['fluid_vs_heap_speedup']:.2f}x")
+
+    machine, models, make_requests = _serving_setup()
+    requests = make_requests(n_requests)
+    serve_entry: dict = {"n_requests": n_requests}
+    for mode in ("exact", "fluid"):
+        seconds = _best(
+            lambda: run_serving(machine, models, requests, mode), reps)
+        per_min = n_requests / seconds * 60.0
+        serve_entry[f"{mode}_seconds"] = seconds
+        serve_entry[f"{mode}_requests_per_min"] = per_min
+        print(f"  serving_core/{mode:<7} {seconds * 1e3:9.1f} ms  "
+              f"-> {per_min:,.0f} req/min  (best of {reps})")
+
+    return {"link_saturated": link_entry, "serving_core": serve_entry}
+
+
+def record(path: Path, scale: str, reps: int) -> dict:
+    print(f"simcore bench: scale={scale}, recording")
+    doc = {
+        "schema": SCHEMA,
+        "scale": scale,
+        "reps": reps,
+        "speedup_floor": SPEEDUP_FLOOR,
+        "throughput_floor_per_min": THROUGHPUT_FLOOR_PER_MIN,
+    }
+    doc.update(run_all(scale, reps))
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w") as fh:
+        json.dump(doc, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {path}")
+    return doc
+
+
+# ---------------------------------------------------------------------------
+# validation (committed document only — no re-measurement)
+# ---------------------------------------------------------------------------
+
+def _positive(entry: dict, name: str, key: str) -> float:
+    value = entry.get(key)
+    assert isinstance(value, (int, float)) and value > 0, \
+        f"{name}.{key} not a positive number: {value!r}"
+    return value
+
+
+def validate(path: Path, check_floors: bool = True) -> None:
+    with open(path) as fh:
+        doc = json.load(fh)
+    assert doc.get("schema") == SCHEMA, f"bad schema: {doc.get('schema')}"
+    assert doc.get("scale") in _SCALES, doc.get("scale")
+    assert isinstance(doc.get("reps"), int) and doc["reps"] >= 1
+
+    link = doc.get("link_saturated")
+    assert isinstance(link, dict), "missing link_saturated"
+    assert isinstance(link.get("chunks_per_direction"), int) \
+        and link["chunks_per_direction"] > 0
+    for engine in ENGINES:
+        _positive(link, "link_saturated", f"{engine}_seconds")
+    speedup = _positive(link, "link_saturated", "fluid_vs_heap_speedup")
+    want = link["exact_heap_seconds"] / link["fluid_seconds"]
+    assert abs(speedup - want) < 1e-9 * max(want, 1.0), \
+        f"fluid_vs_heap_speedup {speedup} != heap/fluid {want}"
+
+    serve = doc.get("serving_core")
+    assert isinstance(serve, dict), "missing serving_core"
+    n = serve.get("n_requests")
+    assert isinstance(n, int) and n > 0, f"bad n_requests: {n!r}"
+    for mode in ("exact", "fluid"):
+        seconds = _positive(serve, "serving_core", f"{mode}_seconds")
+        per_min = _positive(serve, "serving_core",
+                            f"{mode}_requests_per_min")
+        want = n / seconds * 60.0
+        assert abs(per_min - want) < 1e-9 * max(want, 1.0), \
+            f"{mode}_requests_per_min {per_min} != n/seconds*60 {want}"
+
+    if check_floors:
+        assert speedup >= SPEEDUP_FLOOR, (
+            f"fluid vs heap speedup {speedup:.2f}x below the "
+            f"{SPEEDUP_FLOOR}x acceptance floor")
+        for mode in ("exact", "fluid"):
+            got = serve[f"{mode}_requests_per_min"]
+            assert got >= THROUGHPUT_FLOOR_PER_MIN, (
+                f"serving_core/{mode}: {got:,.0f} req/min below the "
+                f"{THROUGHPUT_FLOOR_PER_MIN:,} floor")
+
+    print(f"{path} valid: fluid-vs-heap "
+          f"{speedup:.2f}x, serving "
+          + ", ".join(f"{m}={serve[f'{m}_requests_per_min']:,.0f}/min"
+                      for m in ("exact", "fluid")))
+
+
+# ---------------------------------------------------------------------------
+# determinism proof (semantics preservation)
+# ---------------------------------------------------------------------------
+
+def _serve_doc_bytes(scheduler: str) -> bytes:
+    from repro.serve import BlasServer, ServerConfig, serve_report
+    from repro.sim import use_scheduler
+
+    machine, models, make_requests = _serving_setup()
+    requests = make_requests(64)
+    with use_scheduler(scheduler):
+        server = BlasServer(machine, models,
+                            ServerConfig(n_gpus=4, seed=BENCH_SEED))
+        report = serve_report(server.serve(requests))
+    return json.dumps(report, sort_keys=True).encode()
+
+
+def check_determinism() -> None:
+    # Exact mode is byte-identical: across two same-seed runs, and
+    # across the heap and calendar schedulers.
+    a = _serve_doc_bytes("calendar")
+    b = _serve_doc_bytes("calendar")
+    assert a == b, "same-seed exact serve runs emitted different reports"
+    print(f"exact-mode determinism ok ({len(a)} bytes, byte-identical)")
+    h = _serve_doc_bytes("heap")
+    assert h == a, "heap and calendar schedulers emitted different reports"
+    print("heap-vs-calendar scheduler equivalence ok (byte-identical)")
+
+    # Fluid mode engages on the storm and stays inside its error pin.
+    n = _SCALES["tiny"][0]
+    exact = run_link_storm("exact_calendar", n)["makespan"]
+    fluid = run_link_storm("fluid", n)["makespan"]
+    err = abs(fluid - exact) / exact
+    assert err < 0.005, f"fluid makespan error {err:.4%} exceeds 0.5%"
+    print(f"fluid makespan pin ok ({err:.4%} error on {n}-chunk storm)")
+
+
+# ---------------------------------------------------------------------------
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--scale", default="quick", choices=tuple(_SCALES))
+    parser.add_argument("--reps", type=int, default=3)
+    parser.add_argument("--json", type=Path, default=DEFAULT_JSON)
+    parser.add_argument("--record", action="store_true",
+                        help="run the workloads and write the JSON")
+    parser.add_argument("--validate", action="store_true",
+                        help="validate the committed JSON schema + floors")
+    parser.add_argument("--no-floor-gate", action="store_true",
+                        help="with --validate: schema/coherence only")
+    parser.add_argument("--determinism", action="store_true",
+                        help="run the semantics-preservation checks")
+    args = parser.parse_args(argv)
+
+    did_something = False
+    if args.record:
+        record(args.json, args.scale, args.reps)
+        did_something = True
+    if args.validate:
+        validate(args.json, check_floors=not args.no_floor_gate)
+        did_something = True
+    if args.determinism:
+        check_determinism()
+        did_something = True
+    if not did_something:
+        print(f"simcore bench: scale={args.scale} (dry run, not recorded)")
+        run_all(args.scale, args.reps)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -42,6 +42,7 @@ from .verify import (
     find_conservation_violations,
     find_request_violations,
     find_violations,
+    fluid_span,
     kernel_deps,
     split_fault,
     transfer_tile,
@@ -72,6 +73,7 @@ __all__ = [
     "find_request_violations",
     "find_violations",
     "kernel_deps",
+    "fluid_span",
     "split_fault",
     "transfer_tile",
     "verify_requests",

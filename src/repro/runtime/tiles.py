@@ -12,7 +12,21 @@ import math
 from dataclasses import dataclass
 from typing import Iterator, Tuple
 
+import numpy as np
+
 from ..errors import SchedulerError
+
+
+def _span_table(n: int, t: int, n_tiles: int) -> Tuple[Tuple[int, int], ...]:
+    """All ``(offset, length)`` chunk spans, built in one numpy pass.
+
+    ``tolist()`` yields Python ints, so the table entries are
+    value-identical to the scalar ``i * t`` / ``min(t, n - off)``
+    arithmetic they replace.
+    """
+    offs = np.arange(n_tiles, dtype=np.int64) * t
+    lens = np.minimum(t, n - offs)
+    return tuple(zip(offs.tolist(), lens.tolist()))
 
 
 @dataclass(frozen=True)
@@ -29,13 +43,17 @@ class Grid1D:
         # (Plain attribute on a frozen dataclass — not a field, so it
         # does not affect eq/hash/repr.)
         object.__setattr__(self, "n_tiles", math.ceil(self.n / self.t))
+        # Span table vectorized up front: the tile schedulers call
+        # tile_span several times per chunk (fetch + writeback +
+        # read-back), so per-call arithmetic becomes a tuple lookup.
+        object.__setattr__(self, "spans", _span_table(self.n, self.t,
+                                                      self.n_tiles))
 
     def tile_span(self, i: int) -> Tuple[int, int]:
         """(offset, length) of chunk ``i``."""
         if not 0 <= i < self.n_tiles:
             raise SchedulerError(f"chunk index {i} out of range [0, {self.n_tiles})")
-        off = i * self.t
-        return off, min(self.t, self.n - off)
+        return self.spans[i]
 
     def __iter__(self) -> Iterator[int]:
         return iter(range(self.n_tiles))
@@ -70,6 +88,12 @@ class Grid2D:
         set_(self, "row_tiles", math.ceil(self.rows / self.t))
         set_(self, "col_tiles", math.ceil(self.cols / self.t_col))
         set_(self, "n_tiles", self.row_tiles * self.col_tiles)
+        # Per-axis span tables vectorized up front (see Grid1D.spans);
+        # tile_window composes one row span and one column span.
+        set_(self, "row_spans", _span_table(self.rows, self.t,
+                                            self.row_tiles))
+        set_(self, "col_spans", _span_table(self.cols, self.t_col,
+                                            self.col_tiles))
 
     def tile_window(self, i: int, j: int) -> Tuple[int, int, int, int]:
         """(row0, col0, rows, cols) of tile (i, j), edge-aware."""
@@ -78,10 +102,9 @@ class Grid2D:
                 f"tile ({i}, {j}) out of range "
                 f"[0,{self.row_tiles})x[0,{self.col_tiles})"
             )
-        r0 = i * self.t
-        c0 = j * self.t_col
-        return (r0, c0, min(self.t, self.rows - r0),
-                min(self.t_col, self.cols - c0))
+        r0, rows = self.row_spans[i]
+        c0, cols = self.col_spans[j]
+        return (r0, c0, rows, cols)
 
     def __iter__(self) -> Iterator[Tuple[int, int]]:
         for i in range(self.row_tiles):

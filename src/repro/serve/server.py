@@ -90,6 +90,10 @@ class ServerConfig:
     timeout_floor: float = 0.05
     seed: int = 0
     trace: bool = False               #: record per-batch device traces
+    #: Simulator regime for the shared clock: "exact" DES (default) or
+    #: hybrid "fluid" (collapses saturated-link transfer runs into
+    #: analytic completion times; see sim/fluid.py for the error model).
+    sim_mode: str = "exact"
     # -- fault-domain health (see serve/resilience.py) ------------------
     #: EWMA smoothing of observed/predicted service-time inflation.
     health_alpha: float = 0.25
@@ -118,6 +122,8 @@ class ServerConfig:
     def __post_init__(self) -> None:
         if self.placement not in PLACEMENT_POLICIES:
             raise ServeError(f"unknown placement policy {self.placement!r}")
+        if self.sim_mode not in ("exact", "fluid"):
+            raise ServeError(f"unknown sim_mode {self.sim_mode!r}")
         if self.admission not in ADMISSION_MODES:
             raise ServeError(f"unknown admission mode {self.admission!r}")
         if self.batch_max < 1:
@@ -232,7 +238,7 @@ class BlasServer:
         self.models = models
         self.config = config if config is not None else ServerConfig()
         self.metrics = metrics
-        self.sim = Simulator()
+        self.sim = Simulator(mode=self.config.sim_mode)
         self.monitor = HealthMonitor(
             self.config.n_gpus,
             alpha=self.config.health_alpha,
@@ -284,6 +290,12 @@ class BlasServer:
             raise ServeError("a BlasServer instance serves exactly once")
         self._served = True
         self._requests = sorted(requests, key=lambda r: (r.arrival, r.req_id))
+        # Ordering contract (pinned, not accidental): lifecycle events
+        # are scheduled before arrivals, so a fault onset at exactly an
+        # arrival time gets the lower seq and fires first — the arrival
+        # then dispatches against the post-fault health state.  Equal-
+        # time arrivals fire in (arrival, req_id) order via the sort
+        # above.  Regression: tests/sim/test_tie_ordering.py.
         self._schedule_lifecycle()
         for request in self._requests:
             self.sim.schedule_at(request.arrival,
@@ -523,6 +535,13 @@ class BlasServer:
         for op in last_ops:
             op.on_done(lambda s=state, b=batch: self._on_stream_done(s, b))
         deadline = batch.predicted * cfg.timeout_factor + cfg.timeout_floor
+        # Ordering contract (pinned): the watchdog is scheduled at
+        # launch, so if a stream completion lands at exactly the
+        # deadline the watchdog holds the lower seq and fires first —
+        # the batch times out.  ``batch.settled`` makes the subsequent
+        # completion a no-op either way, so the tie is deterministic
+        # under any FIFO scheduler.  Regression:
+        # tests/sim/test_tie_ordering.py.
         batch.watchdog = self.sim.schedule(
             deadline, lambda s=state, b=batch: self._on_timeout(s, b))
 

@@ -8,7 +8,14 @@ device memory accounting.  See DESIGN.md section 2 for the substitution
 rationale.
 """
 
-from .engine import Simulator
+from .calendar import CalendarQueue
+from .engine import (
+    Simulator,
+    get_default_scheduler,
+    set_default_scheduler,
+    use_scheduler,
+)
+from .fluid import FLUID_MIN_FLOW_RATIO, FLUID_MIN_WINDOW, FluidFlow, FluidStats
 from .faults import (
     DeviceDegradation,
     DeviceFailure,
@@ -34,6 +41,14 @@ from .trace import TraceRecorder, TraceEvent, render_timeline
 
 __all__ = [
     "Simulator",
+    "CalendarQueue",
+    "get_default_scheduler",
+    "set_default_scheduler",
+    "use_scheduler",
+    "FLUID_MIN_FLOW_RATIO",
+    "FLUID_MIN_WINDOW",
+    "FluidFlow",
+    "FluidStats",
     "DeviceDegradation",
     "DeviceFailure",
     "FaultInjector",

@@ -1,0 +1,222 @@
+"""Calendar-queue event scheduler (Brown 1988).
+
+A calendar queue spreads pending events over an array of time buckets
+("days") of fixed width; the bucket index for an event is
+``int(time / width) % nbuckets``.  With a width close to the mean
+inter-event gap, enqueue and dequeue are O(1) amortized — the queue
+behaves like a desk calendar: today's page holds today's events, and
+finding the next event means flipping forward at most a few pages.
+
+Contract with the engine:
+
+* entries are ``(time, seq, handle)`` tuples with unique ``seq``
+  values, so tuple comparison never reaches the handle and the total
+  order is exactly ``(time, seq)`` — the same order the binary heap
+  produces.  Equal timestamps therefore pop in FIFO scheduling order,
+  which is what keeps exact-mode traces byte-identical across
+  schedulers.
+* times never move backwards past the last popped entry (the simulator
+  clock is monotone), but pushes *at* the current time are common
+  (zero-delay chains), and pushes may land arbitrarily far in the
+  future (watchdogs), so the bucket scan falls back to a direct
+  minimum search after one empty "year".
+* the bucket count resizes by powers of two when the population
+  doubles or halves, re-estimating the width from a sample of the
+  pending inter-event gaps.  Resizing is deterministic — no clocks, no
+  randomness — so replays are reproducible.
+"""
+
+from __future__ import annotations
+
+from bisect import insort
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+#: Entries are (time, seq, handle); seq is unique per simulator.
+Entry = Tuple[float, int, object]
+
+_MIN_BUCKETS = 4
+_WIDTH_SAMPLE = 64
+
+
+class CalendarQueue:
+    """O(1)-amortized priority queue over ``(time, seq)`` keys."""
+
+    __slots__ = (
+        "_buckets",
+        "_nbuckets",
+        "_mask",
+        "_width",
+        "_inv_width",
+        "_count",
+        "_vcursor",
+        "_hi",
+        "_lo",
+    )
+
+    def __init__(self, width: float = 1.0, nbuckets: int = _MIN_BUCKETS):
+        if nbuckets < _MIN_BUCKETS or nbuckets & (nbuckets - 1):
+            raise ValueError(f"nbuckets must be a power of two >= {_MIN_BUCKETS}")
+        if not width > 0.0:
+            raise ValueError(f"bucket width must be positive, got {width}")
+        self._init(nbuckets, width, ())
+
+    def _init(self, nbuckets: int, width: float, entries: Sequence[Entry]) -> None:
+        self._nbuckets = nbuckets
+        self._mask = nbuckets - 1
+        self._width = width
+        self._inv_width = 1.0 / width
+        self._hi = nbuckets << 1
+        self._lo = nbuckets >> 1
+        buckets: List[List[Entry]] = [[] for _ in range(nbuckets)]
+        self._buckets = buckets
+        self._count = len(entries)
+        if entries:
+            inv = self._inv_width
+            mask = self._mask
+            self._vcursor = min(int(e[0] * inv) for e in entries)
+            for entry in entries:
+                b = buckets[int(entry[0] * inv) & mask]
+                if b and entry < b[-1]:
+                    insort(b, entry)
+                else:
+                    b.append(entry)
+        else:
+            self._vcursor = 0
+
+    # ------------------------------------------------------------------
+    # core operations
+    # ------------------------------------------------------------------
+
+    def push(self, entry: Entry) -> None:
+        """Insert an entry, keeping its bucket sorted."""
+        vb = int(entry[0] * self._inv_width)
+        b = self._buckets[vb & self._mask]
+        if b and entry < b[-1]:
+            insort(b, entry)
+        else:
+            b.append(entry)
+        if vb < self._vcursor:
+            # A push into an earlier "day" than the cursor (possible
+            # right after a direct-search jump): rewind so the scan
+            # cannot walk past it.
+            self._vcursor = vb
+        self._count += 1
+        if self._count > self._hi:
+            self._resize(self._nbuckets << 1)
+
+    def _locate(self) -> Optional[List[Entry]]:
+        """Bucket holding the global minimum; advances the cursor.
+
+        Scans at most one full year from the cursor; a sparse queue
+        (next event several years out) falls back to a direct minimum
+        search so a pop is never worse than O(nbuckets + n).
+        """
+        if not self._count:
+            return None
+        buckets = self._buckets
+        mask = self._mask
+        inv = self._inv_width
+        vc = self._vcursor
+        for _ in range(self._nbuckets):
+            b = buckets[vc & mask]
+            # The in-year test uses the same int(time * inv) arithmetic
+            # as push so an entry can never be misclassified relative
+            # to its own bucket index.
+            if b and int(b[0][0] * inv) <= vc:
+                self._vcursor = vc
+                return b
+            vc += 1
+        best: Optional[Entry] = None
+        best_bucket: Optional[List[Entry]] = None
+        for b in buckets:
+            if b and (best is None or b[0] < best):
+                best = b[0]
+                best_bucket = b
+        self._vcursor = int(best[0] * inv)
+        return best_bucket
+
+    def pop(self) -> Optional[Entry]:
+        """Remove and return the smallest entry, or None when empty."""
+        b = self._locate()
+        if b is None:
+            return None
+        entry = b.pop(0)
+        self._count -= 1
+        if self._count < self._lo and self._nbuckets > _MIN_BUCKETS:
+            self._resize(self._nbuckets >> 1)
+        return entry
+
+    def peek(self) -> Optional[Entry]:
+        """Smallest entry without removing it, or None when empty."""
+        b = self._locate()
+        return b[0] if b is not None else None
+
+    def pop_batch(self) -> List[Entry]:
+        """Remove and return *all* entries at the minimum timestamp.
+
+        Equal times map to the same bucket and buckets are sorted, so
+        the batch is a contiguous run at the bucket front, already in
+        seq (FIFO) order.
+        """
+        b = self._locate()
+        if b is None:
+            return []
+        t0 = b[0][0]
+        n = len(b)
+        j = 1
+        while j < n and b[j][0] == t0:
+            j += 1
+        batch = b[:j]
+        del b[:j]
+        self._count -= j
+        if self._count < self._lo and self._nbuckets > _MIN_BUCKETS:
+            self._resize(self._nbuckets >> 1)
+        return batch
+
+    # ------------------------------------------------------------------
+    # sizing
+    # ------------------------------------------------------------------
+
+    def _resize(self, nbuckets: int) -> None:
+        entries: List[Entry] = []
+        for b in self._buckets:
+            entries.extend(b)
+        self._init(nbuckets, self._estimate_width(entries), entries)
+
+    def _estimate_width(self, entries: List[Entry]) -> float:
+        """Width ~ 3x the mean positive inter-event gap of a sample."""
+        if len(entries) < 2:
+            return self._width
+        times = sorted(e[0] for e in entries[:_WIDTH_SAMPLE])
+        gaps = [b - a for a, b in zip(times, times[1:]) if b > a]
+        if not gaps:
+            return self._width
+        width = 3.0 * (sum(gaps) / len(gaps))
+        if not (0.0 < width < float("inf")):
+            return self._width
+        return width
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def nbuckets(self) -> int:
+        return self._nbuckets
+
+    @property
+    def width(self) -> float:
+        return self._width
+
+    def __len__(self) -> int:
+        return self._count
+
+    def __iter__(self) -> Iterator[Entry]:
+        for b in self._buckets:
+            yield from b
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<CalendarQueue n={self._count} buckets={self._nbuckets} "
+            f"width={self._width:.3g}>"
+        )

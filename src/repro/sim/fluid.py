@@ -1,0 +1,250 @@
+"""Analytic fluid-flow windows for saturated link directions.
+
+The duplex link's byte-flow phase is already a fluid model: while the
+contention state is constant, a transfer progresses at a fixed rate and
+its completion time is closed-form.  When a direction has a deep FIFO
+backlog of large transfers, the per-chunk events (begin-flow,
+completion, re-plan) carry no information — every chunk starts the
+instant its predecessor finishes, at a rate known in advance.  A
+:class:`FluidFlow` collapses such a run into one numpy cumulative sum:
+
+    [t0, lat_0, flow_0, lat_1, flow_1, ...]  --cumsum-->  begins, ends
+
+``np.cumsum`` accumulates left-to-right in float64, the same chain of
+additions exact mode performs (end_i = start_i + lat_i + flow_i,
+start_{i+1} = end_i), so an *uncontended* window reproduces exact
+completion times bit-for-bit.  What the window approximates away is the
+opposite direction's phase transitions while both directions stay busy:
+the window pins its rate to the contention state at open time
+(``contended``), ignoring the other side's brief latency-phase gaps.
+Per chunk the error is at most lat/(lat + flow) of the slowdown effect,
+which is why eligibility requires flow time >> latency (see
+``FLUID_MIN_FLOW_RATIO``); the equivalence suite pins the end-to-end
+makespan error under 0.5%.
+
+Anything the window cannot describe — the opposite direction going
+idle or busy (contention change), a fault injector, lifecycle events —
+triggers a *bail*: the link flushes the fired prefix, reconstructs the
+in-flight transfer's exact state from :meth:`FluidFlow.bail_state`, and
+hands the remainder back to ordinary discrete events.  Fluid mode is
+therefore opt-in (``Simulator(mode="fluid")``) and structurally
+impossible with a fault injector attached.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+#: Minimum backlog depth before a window opens.  Below this the
+#: per-window bookkeeping costs more than the events it saves.
+FLUID_MIN_WINDOW = 4
+
+#: A transfer is window-eligible only when its flow time is at least
+#: this multiple of the link's setup latency; the ignored latency-phase
+#: gaps are then < 1/ratio of the window, bounding the makespan error.
+FLUID_MIN_FLOW_RATIO = 64.0
+
+
+@dataclass
+class FluidStats:
+    """Aggregate fluid-regime counters, for tests and reports."""
+
+    windows: int = 0
+    jobs_collapsed: int = 0
+    extensions: int = 0
+    bails: int = 0
+    bail_reasons: Dict[str, int] = field(default_factory=dict)
+
+    def record_bail(self, reason: str) -> None:
+        self.bails += 1
+        self.bail_reasons[reason] = self.bail_reasons.get(reason, 0) + 1
+
+
+@dataclass
+class BailState:
+    """Exact-engine reconstruction of a window interrupted mid-run."""
+
+    #: jobs that never started, in FIFO order
+    requeue: List[object]
+    #: the job in flight at bail time (None when the window is drained)
+    active: Optional[object]
+    active_start: float
+    #: when the active job's flow phase begins (may be in the future:
+    #: the job is still in its setup-latency phase)
+    active_begin: float
+    active_rate: float
+
+
+class FluidFlow:
+    """One analytic window: a FIFO run of collapsed transfers.
+
+    Registered with the simulator's fluid run loop, which reads
+    :attr:`next_time` and calls :meth:`fire` with the clock already
+    advanced to that analytic completion time.
+    """
+
+    __slots__ = (
+        "fire",
+        "drain",
+        "contended",
+        "rate_base",
+        "jobs",
+        "rates",
+        "starts",
+        "begins",
+        "ends",
+        "idx",
+        "t_open",
+        "next_time",
+        "pure",
+    )
+
+    def __init__(
+        self,
+        fire_cb: Callable[[], None],
+        rate_base: float,
+        contended: bool,
+    ) -> None:
+        #: fired by the engine's fluid run loop with the clock already
+        #: at :attr:`next_time`; a plain slot (not a method) so the
+        #: per-completion call has no extra frame.
+        self.fire = fire_cb
+        #: bulk-fires every completion strictly before a time limit
+        #: (``drain(limit) -> count``); bound by the owning link, used
+        #: by the run loop only while :attr:`pure` holds.
+        self.drain: Optional[Callable[[float], int]] = None
+        #: direction bandwidth, slowdown-adjusted for the contention
+        #: state frozen at open time
+        self.rate_base = rate_base
+        self.contended = contended
+        self.jobs: List[object] = []
+        self.rates: List[float] = []
+        self.starts: List[float] = []
+        self.begins: List[float] = []
+        self.ends: List[float] = []
+        self.idx = 0
+        self.t_open = 0.0
+        #: analytic time of the next collapsed completion (None when
+        #: drained); kept as a maintained attribute — the run loop
+        #: reads it every iteration, a property call would dominate
+        self.next_time: Optional[float] = None
+        #: True while no un-fired job carries a completion callback:
+        #: firing is then pure per-direction bookkeeping and the run
+        #: loop may bulk-drain instead of stepping per completion
+        self.pure = True
+
+    @classmethod
+    def open(
+        cls,
+        t0: float,
+        jobs: Sequence[object],
+        latencies: Sequence[float],
+        rate_base: float,
+        contended: bool,
+        fire_cb: Callable[["FluidFlow"], None],
+        rates: Optional[List[float]] = None,
+        pure: Optional[bool] = None,
+    ) -> "FluidFlow":
+        """Build a window over ``jobs`` starting at ``t0``.
+
+        ``rates`` and ``pure`` are optional precomputed values: a
+        caller that already scanned the jobs (the link's open path
+        does, for eligibility) passes them to skip the extra O(k)
+        passes here; when omitted they are derived from the jobs.
+        """
+        flow = cls(fire_cb, rate_base, contended)
+        flow.t_open = t0
+        k = len(jobs)
+        if rates is None:
+            rates = [rate_base * job.rate_scale for job in jobs]
+        seq = np.empty(2 * k + 1, dtype=np.float64)
+        seq[0] = t0
+        seq[1::2] = latencies
+        seq[2::2] = [job.remaining for job in jobs]
+        # Elementwise IEEE division: bitwise the same quotients the
+        # scalar per-job form produces.
+        seq[2::2] /= rates
+        cum = np.cumsum(seq)
+        flow.jobs = list(jobs)
+        flow.rates = rates
+        flow.begins = cum[1::2].tolist()
+        flow.ends = cum[2::2].tolist()
+        flow.starts = [t0] + flow.ends[:-1]
+        flow.next_time = flow.ends[0]
+        if pure is None:
+            pure = True
+            for job in jobs:
+                if job.on_complete is not None:
+                    pure = False
+                    break
+        flow.pure = pure
+        return flow
+
+    def extend(self, job, latency: float, rate: float) -> None:
+        """Append one more transfer back-to-back after the current tail."""
+        start = self.ends[-1]
+        begin = start + latency
+        self.jobs.append(job)
+        self.rates.append(rate)
+        self.starts.append(start)
+        self.begins.append(begin)
+        self.ends.append(begin + job.remaining / rate)
+        if job.on_complete is not None:
+            self.pure = False
+        if self.idx == len(self.jobs) - 1:
+            # The tail had already fired (a completion callback is
+            # extending the window re-entrantly): the appended job is
+            # the next completion.
+            self.next_time = self.ends[-1]
+
+    # ------------------------------------------------------------------
+    # simulator-facing protocol (``fire`` and ``next_time`` are slots)
+    # ------------------------------------------------------------------
+
+    @property
+    def pending(self) -> int:
+        """Collapsed transfers not yet fired."""
+        return len(self.jobs) - self.idx
+
+    # ------------------------------------------------------------------
+    # link-facing protocol
+    # ------------------------------------------------------------------
+
+    def take_next(self):
+        """Advance past the next completion; returns
+        ``(job, start, begin, end)`` for the caller's bookkeeping.
+
+        The pointer moves *before* the caller runs the completion
+        callback, so a re-entrant bail (the callback submitting to the
+        opposite direction) never replays the fired job.  The link's
+        ``_flow_fire`` inlines this body on the hot path; keep the two
+        in sync.
+        """
+        i = self.idx
+        self.idx = i + 1
+        ends = self.ends
+        self.next_time = ends[i + 1] if i + 1 < len(ends) else None
+        return self.jobs[i], self.starts[i], self.begins[i], ends[i]
+
+    def bail_state(self) -> BailState:
+        """Exact state of the un-fired remainder of the window."""
+        i = self.idx
+        jobs = self.jobs
+        if i >= len(jobs):
+            return BailState([], None, 0.0, 0.0, 0.0)
+        return BailState(
+            requeue=jobs[i + 1 :],
+            active=jobs[i],
+            active_start=self.starts[i],
+            active_begin=self.begins[i],
+            active_rate=self.rates[i],
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<FluidFlow jobs={len(self.jobs)} fired={self.idx} "
+            f"contended={self.contended}>"
+        )

@@ -1,0 +1,226 @@
+"""Property and unit tests for the calendar-queue event scheduler.
+
+The calendar queue replaced the binary heap as the simulator's default
+scheduler; the byte-identity of every committed trace rests on it
+popping entries in exactly ``(time, seq)`` order under arbitrary
+push/pop interleavings, duplicate timestamps, and resize churn.  The
+property tests drive it against a sorted-list reference model; the unit
+tests pin the resize/rotation boundaries and the sparse-queue fallback
+that random data rarely hits.
+
+Hypothesis ships in the test environment; skip cleanly where it
+doesn't rather than growing a dependency.
+"""
+
+import itertools
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+
+from hypothesis import given, settings, strategies as st
+
+from repro.sim import CalendarQueue
+from repro.sim.calendar import _MIN_BUCKETS
+
+
+def make_entries(times):
+    """(time, seq, handle) entries with unique seqs in push order."""
+    return [(t, seq, object()) for seq, t in enumerate(times)]
+
+
+# Timestamps a simulator actually produces: non-negative floats over
+# wildly different magnitudes (nanosecond transfer chains to watchdog
+# deadlines), with duplicates made likely by rounding to few digits.
+times_strategy = st.lists(
+    st.one_of(
+        st.floats(min_value=0.0, max_value=1e-6, allow_nan=False),
+        st.floats(min_value=0.0, max_value=1.0, allow_nan=False).map(
+            lambda t: round(t, 2)),
+        st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+    ),
+    min_size=0, max_size=200)
+
+# Interleaved operations: push the next pending time, or pop.
+ops_strategy = st.lists(st.sampled_from(["push", "pop"]),
+                        min_size=0, max_size=300)
+
+
+class TestAgainstReferenceModel:
+    @settings(max_examples=200, deadline=None)
+    @given(times=times_strategy)
+    def test_drain_matches_sorted_reference(self, times):
+        entries = make_entries(times)
+        q = CalendarQueue()
+        for entry in entries:
+            q.push(entry)
+        drained = []
+        while True:
+            entry = q.pop()
+            if entry is None:
+                break
+            drained.append(entry)
+        assert drained == sorted(entries, key=lambda e: (e[0], e[1]))
+        assert len(q) == 0 and q.pop() is None and q.peek() is None
+
+    @settings(max_examples=200, deadline=None)
+    @given(times=times_strategy, ops=ops_strategy)
+    def test_interleaved_push_pop_matches_reference(self, times, ops):
+        pending = iter(make_entries(times))
+        q = CalendarQueue()
+        model = []
+        for op in ops:
+            if op == "push":
+                entry = next(pending, None)
+                if entry is None:
+                    continue
+                q.push(entry)
+                model.append(entry)
+            else:
+                expect = min(model, key=lambda e: (e[0], e[1]),
+                             default=None)
+                got = q.pop()
+                assert got == expect
+                if expect is not None:
+                    model.remove(expect)
+            assert len(q) == len(model)
+        assert sorted(q, key=lambda e: (e[0], e[1])) == sorted(
+            model, key=lambda e: (e[0], e[1]))
+
+    @settings(max_examples=150, deadline=None)
+    @given(times=times_strategy)
+    def test_pop_batch_drains_equal_time_runs_in_fifo_order(self, times):
+        entries = make_entries(times)
+        q = CalendarQueue()
+        for entry in entries:
+            q.push(entry)
+        reference = sorted(entries, key=lambda e: (e[0], e[1]))
+        drained = []
+        while True:
+            batch = q.pop_batch()
+            if not batch:
+                break
+            # One batch = every entry at one timestamp, in seq order.
+            assert len({e[0] for e in batch}) <= 1
+            assert [e[1] for e in batch] == sorted(e[1] for e in batch)
+            drained.extend(batch)
+        assert drained == reference
+
+    @settings(max_examples=100, deadline=None)
+    @given(times=times_strategy)
+    def test_peek_agrees_with_pop(self, times):
+        q = CalendarQueue()
+        for entry in make_entries(times):
+            q.push(entry)
+        while True:
+            head = q.peek()
+            assert head == (q.pop() if head is not None else q.pop())
+            if head is None:
+                break
+
+
+class TestFifoWithinTimestamp:
+    def test_duplicate_timestamps_pop_in_push_order(self):
+        q = CalendarQueue()
+        entries = make_entries([1.0] * 50)
+        for entry in entries:
+            q.push(entry)
+        assert [q.pop() for _ in entries] == entries
+
+    def test_duplicates_interleaved_with_other_times(self):
+        q = CalendarQueue()
+        seq = itertools.count()
+        dup = [(2.0, next(seq), object()) for _ in range(8)]
+        q.push(dup[0])
+        q.push((1.0, next(seq), object()))
+        for entry in dup[1:4]:
+            q.push(entry)
+        q.push((3.0, next(seq), object()))
+        for entry in dup[4:]:
+            q.push(entry)
+        assert q.pop()[0] == 1.0
+        assert [q.pop() for _ in dup] == dup
+        assert q.pop()[0] == 3.0
+
+
+class TestResizeBoundaries:
+    def test_grows_past_every_doubling_threshold(self):
+        q = CalendarQueue()
+        entries = make_entries([0.001 * i for i in range(600)])
+        sizes = {q.nbuckets}
+        for entry in entries:
+            q.push(entry)
+            sizes.add(q.nbuckets)
+        assert max(sizes) > _MIN_BUCKETS, "queue never grew"
+        assert [q.pop() for _ in entries] == entries
+
+    def test_shrinks_back_while_draining(self):
+        q = CalendarQueue()
+        entries = make_entries([0.001 * i for i in range(600)])
+        for entry in entries:
+            q.push(entry)
+        grown = q.nbuckets
+        for entry in entries:
+            assert q.pop() == entry
+        assert q.nbuckets < grown
+        assert q.nbuckets >= _MIN_BUCKETS
+
+    def test_resize_preserves_order_across_the_boundary(self):
+        # Push exactly to the growth threshold (count > 2 * nbuckets),
+        # straddling it with duplicate timestamps so the rebuild has to
+        # keep FIFO runs intact.
+        q = CalendarQueue()
+        entries = make_entries([5.0] * (2 * _MIN_BUCKETS + 3))
+        for entry in entries:
+            q.push(entry)
+        assert [q.pop() for _ in entries] == entries
+
+    def test_all_equal_times_never_estimate_zero_width(self):
+        # Zero inter-event gap would make the width estimator divide
+        # the year into nothing; it must keep the previous width.
+        q = CalendarQueue()
+        entries = make_entries([7.0] * 100)
+        for entry in entries:
+            q.push(entry)
+        assert q.width > 0.0
+        assert [q.pop() for _ in entries] == entries
+
+
+class TestRotationAndSparseFallback:
+    def test_far_future_event_found_by_direct_search(self):
+        # Next event many "years" past the cursor: the one-year scan
+        # misses and the direct minimum search must take over.
+        q = CalendarQueue(width=1.0)
+        late = (1e9, 0, object())
+        q.push(late)
+        assert q.pop() == late
+
+    def test_push_behind_cursor_rewinds(self):
+        # After a direct-search jump far forward, a push at an earlier
+        # time (still >= sim clock) must still come out first.
+        q = CalendarQueue(width=1.0)
+        q.push((1e9, 0, object()))
+        assert q.peek()[0] == 1e9  # cursor jumped to year 1e9
+        early = (10.0, 1, object())
+        q.push(early)
+        assert q.pop() == early
+        assert q.pop()[0] == 1e9
+
+    def test_same_bucket_different_years_pop_in_time_order(self):
+        # With width 1 and 4 buckets, t=0.5 and t=4.5 share bucket 0;
+        # the in-year test must hold back the later year.
+        q = CalendarQueue(width=1.0, nbuckets=4)
+        this_year = (0.5, 0, object())
+        next_year = (4.5, 1, object())
+        q.push(next_year)
+        q.push(this_year)
+        assert q.pop() == this_year
+        assert q.pop() == next_year
+
+    def test_constructor_rejects_bad_shapes(self):
+        with pytest.raises(ValueError):
+            CalendarQueue(nbuckets=3)
+        with pytest.raises(ValueError):
+            CalendarQueue(nbuckets=2)
+        with pytest.raises(ValueError):
+            CalendarQueue(width=0.0)

@@ -1,0 +1,260 @@
+"""Unit tests for the hybrid fluid-flow regime.
+
+Covers the window lifecycle end to end: the analytic cumsum math of
+:class:`FluidFlow`, the link's open/extend/close machinery, bail-out
+reconstruction when contention changes mid-window, the structural
+guards that keep fluid off (exact mode, fault injectors, shallow or
+small backlogs), the collapsed trace spans and their acceptance by
+``verify_trace``, and the serving layer's fluid mode surviving chaos
+lifecycle faults with request conservation intact.
+"""
+
+import pytest
+
+from repro.obs import fluid_span, verify_requests, verify_trace
+from repro.serve import (
+    BlasServer,
+    ServeError,
+    ServerConfig,
+    WorkloadSpec,
+    generate_workload,
+)
+from repro.serve.chaos import build_scenario
+from repro.sim import (
+    FLUID_MIN_FLOW_RATIO,
+    FLUID_MIN_WINDOW,
+    Direction,
+    DuplexLink,
+    FluidFlow,
+    LinkDirectionConfig,
+    Simulator,
+)
+from repro.sim.faults import FaultInjector, FaultPlan
+from repro.sim.trace import TraceRecorder
+
+_H2D = LinkDirectionConfig(latency=1e-5, bandwidth=8e9, bid_slowdown=1.3)
+_D2H = LinkDirectionConfig(latency=1e-5, bandwidth=6e9, bid_slowdown=1.8)
+_CHUNK = 8 << 20  # above the ~5.1 MB collapse floor for this link
+
+
+class _FakeJob:
+    def __init__(self, nbytes, rate_scale=1.0, on_complete=None):
+        self.nbytes = nbytes
+        self.remaining = float(nbytes)
+        self.rate_scale = rate_scale
+        self.on_complete = on_complete
+
+
+class TestFluidFlowMath:
+    def test_open_chains_back_to_back_completions(self):
+        jobs = [_FakeJob(1000), _FakeJob(2000), _FakeJob(500)]
+        flow = FluidFlow.open(10.0, jobs, [0.5, 0.5, 0.5], rate_base=100.0,
+                              contended=False, fire_cb=lambda: None)
+        assert flow.starts == [10.0, 20.5, 41.0]
+        assert flow.begins == [10.5, 21.0, 41.5]
+        assert flow.ends == [20.5, 41.0, 46.5]
+        assert flow.pending == 3
+        assert flow.next_time == 20.5
+
+    def test_rate_scale_multiplies_the_window_rate(self):
+        jobs = [_FakeJob(1000, rate_scale=0.5)]
+        flow = FluidFlow.open(0.0, jobs, [0.0], rate_base=100.0,
+                              contended=False, fire_cb=lambda: None)
+        assert flow.ends == [20.0]  # 1000 / (100 * 0.5)
+
+    def test_extend_appends_after_current_tail(self):
+        flow = FluidFlow.open(0.0, [_FakeJob(100)], [1.0], rate_base=100.0,
+                              contended=False, fire_cb=lambda: None)
+        flow.extend(_FakeJob(200), latency=1.0, rate=100.0)
+        assert flow.starts[-1] == flow.ends[0]
+        assert flow.ends[-1] == flow.ends[0] + 1.0 + 2.0
+        assert flow.pending == 2
+
+    def test_take_next_advances_the_window(self):
+        jobs = [_FakeJob(100), _FakeJob(200)]
+        flow = FluidFlow.open(0.0, jobs, [0.0, 0.0], rate_base=100.0,
+                              contended=False, fire_cb=lambda: None)
+        job, start, begin, end = flow.take_next()
+        assert job is jobs[0] and (start, begin, end) == (0.0, 0.0, 1.0)
+        assert flow.pending == 1 and flow.next_time == 3.0
+        flow.take_next()
+        assert flow.pending == 0 and flow.next_time is None
+
+    def test_bail_state_mid_window(self):
+        jobs = [_FakeJob(100), _FakeJob(200), _FakeJob(300)]
+        flow = FluidFlow.open(0.0, jobs, [0.5, 0.5, 0.5], rate_base=100.0,
+                              contended=True, fire_cb=lambda: None)
+        flow.take_next()
+        state = flow.bail_state()
+        assert state.active is jobs[1]
+        assert state.requeue == [jobs[2]]
+        assert state.active_start == flow.starts[1]
+        assert state.active_begin == flow.begins[1]
+        assert state.active_rate == 100.0
+
+    def test_bail_state_when_drained(self):
+        flow = FluidFlow.open(0.0, [_FakeJob(100)], [0.0], rate_base=100.0,
+                              contended=False, fire_cb=lambda: None)
+        flow.take_next()
+        state = flow.bail_state()
+        assert state.active is None and state.requeue == []
+
+
+class TestWindowEligibility:
+    def _link(self, mode="fluid", **kwargs):
+        sim = Simulator(mode=mode)
+        return sim, DuplexLink(sim, _H2D, _D2H, **kwargs)
+
+    def test_exact_mode_never_opens_windows(self):
+        sim, link = self._link(mode="exact")
+        for i in range(20):
+            link.submit(Direction.H2D, _CHUNK)
+        sim.run()
+        assert link.fluid_stats.windows == 0
+
+    def test_fault_injector_disables_the_fluid_regime(self):
+        plan = FaultPlan(transfer_fail_rate=0.01, seed=3)
+        sim, link = self._link(faults=FaultInjector(plan))
+        for i in range(20):
+            link.submit(Direction.H2D, _CHUNK)
+        sim.run()
+        assert link.fluid_stats.windows == 0
+        stats = link.stats(Direction.H2D)
+        assert stats.transfers == 20  # faulted attempts still occupy it
+
+    def test_shallow_backlog_stays_exact(self):
+        sim, link = self._link()
+        for i in range(FLUID_MIN_WINDOW - 1):
+            link.submit(Direction.H2D, _CHUNK)
+        sim.run()
+        assert link.fluid_stats.windows == 0
+        assert link.stats(Direction.H2D).transfers == FLUID_MIN_WINDOW - 1
+
+    def test_small_chunks_stay_exact(self):
+        # Below the collapse floor the latency-phase error would not be
+        # negligible, so small chunks must take the exact path.
+        small = 1 << 20
+        assert small < FLUID_MIN_FLOW_RATIO * _H2D.latency * _H2D.bandwidth
+        sim, link = self._link()
+        for i in range(40):
+            link.submit(Direction.H2D, small)
+        sim.run()
+        assert link.fluid_stats.windows == 0
+        assert link.stats(Direction.H2D).transfers == 40
+
+    def test_deep_large_backlog_collapses(self):
+        sim, link = self._link()
+        for i in range(40):
+            link.submit(Direction.H2D, _CHUNK)
+        sim.run()
+        assert link.fluid_stats.windows > 0
+        assert link.fluid_stats.jobs_collapsed > 0
+        assert link.stats(Direction.H2D).transfers == 40
+        assert link.stats(Direction.H2D).bytes_moved == 40 * _CHUNK
+
+
+class TestBailOut:
+    def test_opposite_direction_onset_bails_the_window(self):
+        sim = Simulator(mode="fluid")
+        link = DuplexLink(sim, _H2D, _D2H)
+        for i in range(40):
+            link.submit(Direction.H2D, _CHUNK)
+        # Mid-storm, the other direction wakes up: the uncontended
+        # window's rate assumption breaks and it must bail to exact.
+        t_mid = 20 * _CHUNK / _H2D.bandwidth
+        sim.schedule_at(t_mid,
+                        lambda: link.submit(Direction.D2H, _CHUNK))
+        sim.run()
+        stats = link.fluid_stats
+        assert stats.bails >= 1
+        assert stats.bail_reasons.get("contention", 0) >= 1
+        # Conservation: nothing double-fired or lost across the bail.
+        assert link.stats(Direction.H2D).transfers == 40
+        assert link.stats(Direction.H2D).bytes_moved == 40 * _CHUNK
+        assert link.stats(Direction.D2H).transfers == 1
+
+    def test_bailed_run_matches_exact_makespan_closely(self):
+        def storm(mode):
+            sim = Simulator(mode=mode)
+            link = DuplexLink(sim, _H2D, _D2H)
+            for i in range(40):
+                link.submit(Direction.H2D, _CHUNK)
+            t_mid = 20 * _CHUNK / _H2D.bandwidth
+            sim.schedule_at(t_mid,
+                            lambda: link.submit(Direction.D2H, _CHUNK))
+            sim.run()
+            return sim.now
+
+        exact, fluid = storm("exact"), storm("fluid")
+        assert abs(fluid - exact) / exact < 0.005
+
+    def test_completion_callbacks_fire_in_order(self):
+        sim = Simulator(mode="fluid")
+        link = DuplexLink(sim, _H2D, _D2H)
+        order = []
+        for i in range(12):
+            link.submit(Direction.H2D, _CHUNK,
+                        on_complete=lambda i=i: order.append(i))
+        sim.run()
+        assert order == list(range(12))
+
+
+class TestCollapsedTraceSpans:
+    def _traced_storm(self, n=30):
+        sim = Simulator(mode="fluid")
+        trace = TraceRecorder()
+        link = DuplexLink(sim, _H2D, _D2H, trace=trace)
+        for i in range(n):
+            link.submit(Direction.H2D, _CHUNK, tag=f"h2d:A({i},0)")
+        sim.run()
+        return link, trace
+
+    def test_window_leaves_one_span_with_fired_totals(self):
+        link, trace = self._traced_storm()
+        spans = [ev for ev in trace.events
+                 if fluid_span(ev.tag) is not None]
+        assert spans, "no collapsed span recorded"
+        assert sum(fluid_span(ev.tag)[1] for ev in spans) \
+            + sum(1 for ev in trace.events if fluid_span(ev.tag) is None) \
+            == 30
+        for ev in spans:
+            engine, count = fluid_span(ev.tag)
+            assert engine == ev.engine == "h2d"
+            assert count >= 1
+            assert ev.end > ev.start
+
+    def test_verify_trace_accepts_collapsed_spans(self):
+        _link, trace = self._traced_storm()
+        verify_trace(trace)
+
+    def test_fluid_span_helper_parses_only_fluid_tags(self):
+        assert fluid_span("fluid:h2d#17") == ("h2d", 17)
+        assert fluid_span("h2d:A(0,0)") is None
+        assert fluid_span("fluid:") is None
+
+
+class TestServingFluidMode:
+    def test_config_rejects_unknown_mode(self):
+        with pytest.raises(ServeError, match="sim_mode"):
+            ServerConfig(sim_mode="approximate")
+
+    def test_lifecycle_chaos_conserves_requests_in_fluid_mode(self, tb2,
+                                                              models_tb2):
+        # Lifecycle faults (device failure + recovery) are fleet-level:
+        # they drain domains and requeue work while the fluid regime is
+        # active.  The serving outcome must conserve every request and
+        # complete the same set exact mode completes.
+        spec = WorkloadSpec(n_requests=24, rate=8000.0, seed=11)
+        scenario = build_scenario("kill-one-gpu", spec, 4, seed=11)
+        outcomes = {}
+        for mode in ("exact", "fluid"):
+            server = BlasServer(
+                tb2.with_faults(scenario.plan()), models_tb2,
+                ServerConfig(n_gpus=4, seed=11, sim_mode=mode))
+            outcomes[mode] = server.serve(generate_workload(spec))
+        for outcome in outcomes.values():
+            verify_requests(outcome.requests)
+        done = {mode: sorted(r.req_id for r in out.requests
+                             if r.completion_t is not None)
+                for mode, out in outcomes.items()}
+        assert done["fluid"] == done["exact"]
