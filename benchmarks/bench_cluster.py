@@ -1,0 +1,279 @@
+"""Bench: cluster-scale serving gate (sharded fleet + autoscaler).
+
+Sustains a phased bursty trace end-to-end through the cluster
+coordinator — consistent-hash sharding, predicted-backlog routing, the
+model-guided autoscaler — on a fleet that starts at 4 nodes and moves
+with the load.  The paper-scale trace is 1M requests; the committed
+``BENCH_cluster.json`` must show
+
+* byte-identical ``repro.cluster/v1`` documents across two same-seed
+  runs of the full trace (the determinism acceptance gate),
+* at least one scale-up AND one scale-down, each carrying the demand
+  model's reasoning snapshot (EWMA rate x predicted service, predicted
+  backlog per node) — the fleet moves on *predicted* signals, and
+* a clean fleet-wide conservation verdict over every migration.
+
+``--record`` runs the trace twice (byte-identity is measured, not
+assumed) and writes ``results/BENCH_cluster.json``; ``--validate``
+checks the committed document's schema, coherence, and floors without
+re-measuring, so CI enforces the gate deterministically on any runner.
+``--determinism`` is the quick semantics check used by the CI smoke:
+a small-scale double run compared byte for byte.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_cluster.py --scale tiny
+    PYTHONPATH=src python benchmarks/bench_cluster.py --record \
+        --scale paper --json benchmarks/results/BENCH_cluster.json
+    PYTHONPATH=src python benchmarks/bench_cluster.py --validate
+    PYTHONPATH=src python benchmarks/bench_cluster.py --determinism
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import sys
+import time
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+DEFAULT_JSON = RESULTS_DIR / "BENCH_cluster.json"
+
+SCHEMA = "repro.bench_cluster/v1"
+
+BENCH_SEED = 16
+
+#: Acceptance floors (ISSUE 8): the committed run must provision at
+#: least this many nodes and move the fleet in both directions.
+MIN_NODES = 4
+MIN_SCALE_UPS = 1
+MIN_SCALE_DOWNS = 1
+
+#: trace length per scale ("paper" is the 1M-request acceptance trace)
+_SCALES = {
+    "tiny": 20_000,
+    "quick": 200_000,
+    "paper": 1_000_000,
+}
+
+
+def _workload_spec(scale: str):
+    from repro.cluster import ClusterWorkloadSpec
+
+    # Base 500 req/s with a (1.0, 2.5, 0.4) phase profile: steady
+    # start, a sustained 1250 req/s surge (scale-up), then a lull at
+    # 200 req/s (scale-down).
+    return ClusterWorkloadSpec(arrival="bursty", rate=500.0,
+                               n_requests=_SCALES[scale], scale="tiny",
+                               seed=BENCH_SEED)
+
+
+def _setup():
+    from repro.experiments.harness import models_for
+    from repro.sim.machine import get_testbed
+
+    machine = get_testbed("testbed_ii")
+    models = models_for(machine, "quick")
+    return machine, models
+
+
+def run_trace(machine, models, scale: str) -> tuple:
+    """One full cluster run; returns (document bytes, wall seconds)."""
+    from repro.cluster import (AutoscalerConfig, ClusterConfig,
+                               ClusterCoordinator, cluster_document,
+                               cluster_spec_as_dict, dump_cluster_document,
+                               iter_cluster_workload)
+    from repro.serve import ServerConfig
+
+    spec = _workload_spec(scale)
+    config = ClusterConfig(
+        nodes=MIN_NODES, gpus_per_node=2, router="predicted",
+        autoscaler=AutoscalerConfig(min_nodes=MIN_NODES, max_nodes=8))
+    coordinator = ClusterCoordinator(machine, models, config,
+                                     ServerConfig(seed=BENCH_SEED))
+    t0 = time.perf_counter()
+    outcome = coordinator.run(iter_cluster_workload(spec))
+    seconds = time.perf_counter() - t0
+    doc = cluster_document(outcome, context={
+        "bench": SCHEMA, "scale": scale, "seed": BENCH_SEED,
+        "workload": cluster_spec_as_dict(spec),
+    })
+    return dump_cluster_document(doc).encode(), seconds
+
+
+# ---------------------------------------------------------------------------
+# recording
+# ---------------------------------------------------------------------------
+
+def record(path: Path, scale: str) -> dict:
+    n = _SCALES[scale]
+    print(f"cluster bench: scale={scale} ({n:,} requests), recording")
+    machine, models = _setup()
+
+    runs = []
+    for i in range(2):
+        blob, seconds = run_trace(machine, models, scale)
+        runs.append((blob, seconds))
+        print(f"  run {i + 1}: {seconds:8.1f} s wall  "
+              f"({n / seconds * 60:,.0f} simulated req/min)")
+    byte_identical = runs[0][0] == runs[1][0]
+    print(f"  byte-identical: {byte_identical}")
+
+    report = json.loads(runs[0][0])["report"]
+    fleet = report["fleet"]
+    seconds = min(r[1] for r in runs)
+    doc = {
+        "schema": SCHEMA,
+        "scale": scale,
+        "seed": BENCH_SEED,
+        "n_requests": n,
+        "min_nodes": MIN_NODES,
+        "wall_seconds": seconds,
+        "requests_per_min": n / seconds * 60.0,
+        "byte_identical": byte_identical,
+        "document_sha256": hashlib.sha256(runs[0][0]).hexdigest(),
+        "fleet": {
+            "completed": fleet["requests"]["completed"],
+            "shed": fleet["requests"]["shed"],
+            "failed": fleet["requests"]["failed"],
+            "migrations": fleet["requests"]["migrations"],
+            "slo_attainment": fleet["requests"]["slo"]["attainment"],
+            "latency": {k: fleet["latency"][k]
+                        for k in ("p50", "p95", "p99")},
+            "makespan": fleet["makespan"],
+            "throughput_rps": fleet["throughput_rps"],
+            "nodes_provisioned": fleet["nodes_provisioned"],
+        },
+        "scaling": {
+            "scale_ups": report["scaling"]["scale_ups"],
+            "scale_downs": report["scaling"]["scale_downs"],
+        },
+        "routing": report["routing"],
+        "conservation_ok": report["conservation"]["ok"],
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w") as fh:
+        json.dump(doc, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {path}")
+    return doc
+
+
+# ---------------------------------------------------------------------------
+# validation (committed document only — no re-measurement)
+# ---------------------------------------------------------------------------
+
+def validate(path: Path, check_floors: bool = True) -> None:
+    with open(path) as fh:
+        doc = json.load(fh)
+    assert doc.get("schema") == SCHEMA, f"bad schema: {doc.get('schema')}"
+    assert doc.get("scale") in _SCALES, doc.get("scale")
+    n = doc.get("n_requests")
+    assert n == _SCALES[doc["scale"]], f"n_requests {n} != scale table"
+
+    seconds = doc.get("wall_seconds")
+    assert isinstance(seconds, (int, float)) and seconds > 0
+    per_min = doc.get("requests_per_min")
+    want = n / seconds * 60.0
+    assert abs(per_min - want) < 1e-9 * max(want, 1.0), \
+        f"requests_per_min {per_min} != n/seconds*60 {want}"
+
+    fleet = doc.get("fleet")
+    assert isinstance(fleet, dict), "missing fleet"
+    for key in ("completed", "shed", "failed", "migrations"):
+        value = fleet.get(key)
+        assert isinstance(value, int) and value >= 0, f"fleet.{key}: {value!r}"
+    accounted = fleet["completed"] + fleet["shed"] + fleet["failed"]
+    assert accounted == n, f"terminal counts {accounted} != trace {n}"
+    attainment = fleet.get("slo_attainment")
+    assert isinstance(attainment, (int, float)) and 0 <= attainment <= 1
+    latency = fleet.get("latency")
+    assert isinstance(latency, dict) and set(latency) == {"p50", "p95", "p99"}
+    assert 0 < latency["p50"] <= latency["p95"] <= latency["p99"]
+
+    scaling = doc.get("scaling")
+    assert isinstance(scaling, dict), "missing scaling"
+    sha = doc.get("document_sha256")
+    assert isinstance(sha, str) and len(sha) == 64, f"bad sha256: {sha!r}"
+
+    if check_floors:
+        assert doc.get("byte_identical") is True, \
+            "same-seed cluster runs were not byte-identical"
+        assert doc.get("conservation_ok") is True, \
+            "committed run has conservation violations"
+        assert fleet["nodes_provisioned"] >= MIN_NODES, \
+            f"fleet never reached {MIN_NODES} nodes"
+        assert scaling["scale_ups"] >= MIN_SCALE_UPS, \
+            f"no scale-up in the committed run: {scaling}"
+        assert scaling["scale_downs"] >= MIN_SCALE_DOWNS, \
+            f"no scale-down in the committed run: {scaling}"
+
+    print(f"{path} valid: {n:,} requests in {seconds:.1f}s "
+          f"({per_min:,.0f} req/min), p99 {latency['p99'] * 1e3:.1f} ms, "
+          f"SLO {attainment:.1%}, "
+          f"{scaling['scale_ups']} up / {scaling['scale_downs']} down, "
+          f"byte-identical={doc.get('byte_identical')}")
+
+
+# ---------------------------------------------------------------------------
+# determinism smoke (used by CI on a small trace)
+# ---------------------------------------------------------------------------
+
+def check_determinism(scale: str = "tiny") -> None:
+    machine, models = _setup()
+    a, _ = run_trace(machine, models, scale)
+    b, _ = run_trace(machine, models, scale)
+    assert a == b, "same-seed cluster runs emitted different documents"
+    report = json.loads(a)["report"]
+    assert report["conservation"]["ok"], report["conservation"]
+    assert report["scaling"]["scale_ups"] >= 1, report["scaling"]
+    assert report["scaling"]["scale_downs"] >= 1, report["scaling"]
+    print(f"cluster determinism ok ({len(a)} bytes, byte-identical; "
+          f"{report['scaling']['scale_ups']} up / "
+          f"{report['scaling']['scale_downs']} down, conservation clean)")
+
+
+# ---------------------------------------------------------------------------
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--scale", default="quick", choices=tuple(_SCALES))
+    parser.add_argument("--json", type=Path, default=DEFAULT_JSON)
+    parser.add_argument("--record", action="store_true",
+                        help="run the trace twice and write the JSON")
+    parser.add_argument("--validate", action="store_true",
+                        help="validate the committed JSON schema + floors")
+    parser.add_argument("--no-floor-gate", action="store_true",
+                        help="with --validate: schema/coherence only")
+    parser.add_argument("--determinism", action="store_true",
+                        help="small-scale byte-identity + scaling smoke")
+    args = parser.parse_args(argv)
+
+    did_something = False
+    if args.record:
+        record(args.json, args.scale)
+        did_something = True
+    if args.validate:
+        validate(args.json, check_floors=not args.no_floor_gate)
+        did_something = True
+    if args.determinism:
+        check_determinism()
+        did_something = True
+    if not did_something:
+        machine, models = _setup()
+        blob, seconds = run_trace(machine, models, args.scale)
+        report = json.loads(blob)["report"]
+        n = _SCALES[args.scale]
+        print(f"cluster bench: scale={args.scale} (dry run) — "
+              f"{n:,} requests in {seconds:.1f}s "
+              f"({n / seconds * 60:,.0f} req/min), "
+              f"{report['scaling']['scale_ups']} up / "
+              f"{report['scaling']['scale_downs']} down, "
+              f"conservation={report['conservation']['ok']}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

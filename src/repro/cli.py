@@ -331,6 +331,8 @@ def cmd_serve(args) -> int:
         batching=not args.no_batching,
         host_offload=not args.no_host_offload,
         seed=args.seed,
+        sim_mode=args.sim_mode,
+        scheduler=args.scheduler,
     )
     registry = MetricsRegistry()
     server = BlasServer(machine, models, config, metrics=registry)
@@ -397,6 +399,8 @@ def cmd_chaos(args) -> int:
         placement=args.placement,
         hedging=args.hedging,
         seed=args.seed,
+        sim_mode=args.sim_mode,
+        scheduler=args.scheduler,
     )
     doc = run_chaos(
         machine, models, args.scenario, spec=spec, config=config,
@@ -457,6 +461,110 @@ def cmd_chaos(args) -> int:
     return 0 if conservation["ok"] else 1
 
 
+def _parse_kill(value: str):
+    """Parse a --kill-node spec 'nodeN@T' into (T, 'nodeN')."""
+    name, sep, at = value.partition("@")
+    if not sep or not name:
+        raise ReproError(
+            f"bad --kill-node {value!r}; expected 'nodeN@seconds'")
+    try:
+        t = float(at)
+    except ValueError:
+        raise ReproError(
+            f"bad --kill-node time in {value!r}; expected a number")
+    if t < 0:
+        raise ReproError(f"--kill-node time must be >= 0: {value!r}")
+    return (t, name)
+
+
+def cmd_cluster(args) -> int:
+    """Serve a trace on a sharded multi-node fleet; emit cluster.json."""
+    import os
+
+    from .cluster import (AutoscalerConfig, ClusterConfig,
+                          ClusterCoordinator, ClusterWorkloadSpec,
+                          cluster_document, cluster_spec_as_dict,
+                          dump_cluster_document, iter_cluster_workload)
+    from .serve import ServerConfig
+
+    machine, models = _models_for(args)
+    spec = ClusterWorkloadSpec(
+        arrival=args.arrival,
+        rate=args.rate,
+        n_requests=args.requests,
+        scale=args.workload_scale,
+        seed=args.seed,
+    )
+    scaler = AutoscalerConfig(min_nodes=args.min_nodes,
+                              max_nodes=args.max_nodes)
+    cluster_config = ClusterConfig(
+        nodes=args.nodes,
+        gpus_per_node=args.gpus_per_node,
+        router=args.router,
+        autoscale=not args.no_autoscale,
+        autoscaler=scaler,
+    )
+    server_config = ServerConfig(
+        admission=args.admission,
+        seed=args.seed,
+        sim_mode=args.sim_mode,
+        scheduler=args.scheduler,
+    )
+    kills = [_parse_kill(v) for v in (args.kill_node or [])]
+    coordinator = ClusterCoordinator(machine, models, cluster_config,
+                                     server_config)
+    outcome = coordinator.run(iter_cluster_workload(spec),
+                              kill_events=kills or None)
+    doc = cluster_document(outcome, context={
+        "machine": args.machine,
+        "scale": args.scale,
+        "workload": cluster_spec_as_dict(spec),
+        "nodes": args.nodes,
+        "gpus_per_node": args.gpus_per_node,
+        "router": args.router,
+        "admission": args.admission,
+        "autoscale": not args.no_autoscale,
+        "kill_events": [[t, name] for t, name in kills],
+    })
+
+    os.makedirs(args.out_dir, exist_ok=True)
+    cluster_path = os.path.join(args.out_dir, "cluster.json")
+    with open(cluster_path, "w") as fh:
+        fh.write(dump_cluster_document(doc))
+
+    report = doc["report"]
+    fleet = report["fleet"]
+    counts = fleet["requests"]
+    slo = counts["slo"]
+    scaling = report["scaling"]
+    print(f"Clustered {counts['total']} requests on "
+          f"{fleet['nodes_provisioned']} x {machine.display_name} "
+          f"({args.gpus_per_node} GPUs/node, router={args.router}, "
+          f"{args.arrival} arrivals @ {args.rate:g}/s)")
+    print(f"  completed {counts['completed']}  shed {counts['shed']}  "
+          f"failed {counts['failed']}  migrations {counts['migrations']}")
+    print(f"  throughput {fleet['throughput_rps']:.1f} req/s over "
+          f"{fleet['makespan']:.3f} s")
+    latency = fleet["latency"]
+    if latency is not None:
+        print(f"  latency   p50 {latency['p50'] * 1e3:.2f} ms  "
+              f"p95 {latency['p95'] * 1e3:.2f} ms  "
+              f"p99 {latency['p99'] * 1e3:.2f} ms")
+    print(f"  SLO       {slo['met']}/{slo['met'] + slo['missed']} "
+          f"deadlines met ({slo['attainment']:.1%})")
+    print(f"  scaling   {scaling['scale_ups']} up  "
+          f"{scaling['scale_downs']} down  {scaling['kills']} kills  "
+          f"(final fleet {fleet['nodes_final']})")
+    print(f"  routing   {report['routing']['spills']} shard spills")
+    conservation = report["conservation"]
+    print(f"  conservation: {'ok' if conservation['ok'] else 'VIOLATED'} "
+          f"({conservation['accounted']}/{counts['total']} accounted)")
+    for message in conservation["violations"]:
+        print(f"    {message}")
+    print(f"  wrote {cluster_path}")
+    return 0 if conservation["ok"] else 1
+
+
 def cmd_select(args) -> int:
     machine, models = _models_for(args)
     problem = _build_problem(args)
@@ -502,6 +610,18 @@ def cmd_experiment(args) -> int:
 # ---------------------------------------------------------------------------
 # parser
 # ---------------------------------------------------------------------------
+
+def _add_sim_args(parser) -> None:
+    """Simulator-core knobs shared by the serving subcommands."""
+    parser.add_argument("--sim-mode", default="exact",
+                        choices=("exact", "fluid"),
+                        help="transfer simulation: per-event 'exact' or "
+                             "hybrid fluid-flow 'fluid' (default: exact)")
+    parser.add_argument("--scheduler", default=None,
+                        choices=("calendar", "heap"),
+                        help="event-queue implementation (default: "
+                             "auto-select by workload size)")
+
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
@@ -607,6 +727,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--out-dir", default=".",
                          help="directory for serve.json (default: current "
                               "directory)")
+    _add_sim_args(p_serve)
 
     from .serve.chaos import SCENARIOS as _CHAOS_SCENARIOS
     p_chaos = sub.add_parser("chaos", help="serve a workload under a "
@@ -640,6 +761,50 @@ def build_parser() -> argparse.ArgumentParser:
     p_chaos.add_argument("--out-dir", default=".",
                          help="directory for chaos.json (default: current "
                               "directory)")
+    _add_sim_args(p_chaos)
+
+    p_cluster = sub.add_parser("cluster", help="serve a phased trace on a "
+                               "sharded multi-node fleet with a "
+                               "model-guided autoscaler")
+    _add_machine_args(p_cluster)
+    p_cluster.add_argument("--nodes", type=int, default=4,
+                           help="initial fleet size (default: 4)")
+    p_cluster.add_argument("--gpus-per-node", type=int, default=2,
+                           help="simulated GPUs per node (default: 2)")
+    p_cluster.add_argument("--router", default="predicted",
+                           choices=("predicted", "least_connections"),
+                           help="routing policy (default: predicted)")
+    p_cluster.add_argument("--arrival", default="bursty",
+                           choices=("poisson", "bursty"),
+                           help="arrival process (default: bursty)")
+    p_cluster.add_argument("--rate", type=float, default=400.0,
+                           help="base arrival rate, requests/s "
+                                "(default: 400)")
+    p_cluster.add_argument("--requests", type=int, default=20000,
+                           help="trace length (default: 20000)")
+    p_cluster.add_argument("--workload-scale", default="tiny",
+                           choices=("tiny", "quick", "paper"),
+                           help="problem-size mix (default: tiny)")
+    p_cluster.add_argument("--admission", default="shed",
+                           choices=("none", "shed", "downgrade"),
+                           help="per-node admission control "
+                                "(default: shed)")
+    p_cluster.add_argument("--seed", type=int, default=0,
+                           help="trace + fleet seed (default: 0)")
+    p_cluster.add_argument("--no-autoscale", action="store_true",
+                           help="freeze the fleet at --nodes")
+    p_cluster.add_argument("--min-nodes", type=int, default=2,
+                           help="autoscaler floor (default: 2)")
+    p_cluster.add_argument("--max-nodes", type=int, default=8,
+                           help="autoscaler ceiling (default: 8)")
+    p_cluster.add_argument("--kill-node", action="append", default=None,
+                           metavar="nodeN@T",
+                           help="hard-kill a node at simulated time T "
+                                "(repeatable, e.g. node1@0.5)")
+    p_cluster.add_argument("--out-dir", default=".",
+                           help="directory for cluster.json (default: "
+                                "current directory)")
+    _add_sim_args(p_cluster)
 
     p_sel = sub.add_parser("select", help="show per-tile predictions and "
                            "the selected tiling size")
@@ -672,6 +837,7 @@ COMMANDS = {
     "profile": cmd_profile,
     "serve": cmd_serve,
     "chaos": cmd_chaos,
+    "cluster": cmd_cluster,
     "select": cmd_select,
     "experiment": cmd_experiment,
 }

@@ -1,0 +1,130 @@
+"""Cluster-level request routing: sharding + predicted-backlog scoring.
+
+Grouped requests (shared weights) shard by **consistent hashing**: a
+ring of ``replicas`` points per node, keyed by sha1 — deliberately
+*not* Python's builtin ``hash()``, which is salted per process and
+would wreck cross-run determinism — maps each weight group to a
+primary node, so a group's weight cache stays warm on one node across
+fleet membership changes (only ~1/N of groups move when a node joins
+or leaves).
+
+Sharding alone herds a hot group onto one overloaded node, so the
+router allows **bounded spill**: when the primary's predicted backlog
+exceeds ``spill_backlog`` seconds, the request may go to whichever of
+the primary's next ``spill_width`` distinct ring successors carries
+the least predicted backlog.  The score is the *model's* signal —
+:meth:`ClusterNode.predicted_backlog`, the closed-loop sum of
+admission-time T_pred over every in-system request (each queue's
+``total_predicted`` plus in-flight T_pred, counted until true
+completion) — not instantaneous queue length: service times in one
+trace span orders of magnitude, so one queued giant outweighs ten
+queued batchable gemms, and only the prediction sees that.
+
+Ungrouped requests (large gemms, axpy) have no cache affinity and go
+straight to the fleet-wide minimum predicted backlog.
+
+A ``least_connections`` policy — argmin over outstanding request
+count, the classic reactive balancer — is kept as the baseline the
+acceptance test beats.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from bisect import bisect_right
+from typing import List, Optional, Sequence, Tuple
+
+from ..serve.request import Request, ServeError
+from .node import ClusterNode
+
+ROUTER_POLICIES = ("predicted", "least_connections")
+
+
+def _ring_hash(key: str) -> int:
+    """Stable 64-bit ring position (sha1; never builtin hash())."""
+    return int.from_bytes(
+        hashlib.sha1(key.encode("utf-8")).digest()[:8], "big")
+
+
+class ClusterRouter:
+    """Shard-then-score router over the active fleet."""
+
+    def __init__(self, policy: str = "predicted", replicas: int = 64,
+                 spill_width: int = 2, spill_backlog: float = 0.25) -> None:
+        if policy not in ROUTER_POLICIES:
+            raise ServeError(
+                f"unknown router policy {policy!r}; valid: {ROUTER_POLICIES}")
+        if replicas < 1:
+            raise ServeError(f"replicas must be >= 1: {replicas}")
+        if spill_width < 0:
+            raise ServeError(f"spill_width must be >= 0: {spill_width}")
+        if spill_backlog < 0:
+            raise ServeError(f"spill_backlog must be >= 0: {spill_backlog}")
+        self.policy = policy
+        self.replicas = replicas
+        self.spill_width = spill_width
+        self.spill_backlog = spill_backlog
+        self.spills = 0
+        self._ring: List[Tuple[int, str]] = []
+        self._ring_nodes: Tuple[str, ...] = ()
+
+    # -- ring maintenance ----------------------------------------------
+
+    def _rebuild(self, nodes: Sequence[ClusterNode]) -> None:
+        names = tuple(n.name for n in nodes)
+        if names == self._ring_nodes:
+            return
+        ring = []
+        for name in names:
+            for i in range(self.replicas):
+                ring.append((_ring_hash(f"{name}:{i}"), name))
+        ring.sort()
+        self._ring = ring
+        self._ring_nodes = names
+
+    def _ring_order(self, group: str) -> List[str]:
+        """Distinct node names in ring order starting at the group's
+        primary (deterministic successor walk)."""
+        ring = self._ring
+        start = bisect_right(ring, (_ring_hash(group), ""))
+        seen: List[str] = []
+        for k in range(len(ring)):
+            name = ring[(start + k) % len(ring)][1]
+            if name not in seen:
+                seen.append(name)
+        return seen
+
+    # -- routing --------------------------------------------------------
+
+    def route(self, request: Request, nodes: Sequence[ClusterNode],
+              now: float) -> ClusterNode:
+        """Pick the serving node among the active fleet.
+
+        ``nodes`` must be the active members in stable (index) order;
+        every tie breaks toward the earlier node, so one seed gives one
+        assignment sequence.
+        """
+        if not nodes:
+            raise ServeError("routing with an empty active fleet")
+        if len(nodes) == 1:
+            return nodes[0]
+        if self.policy == "least_connections":
+            return min(nodes, key=lambda n: (n.outstanding, n.index))
+        if request.group is None:
+            return min(nodes,
+                       key=lambda n: (n.predicted_backlog(now), n.index))
+        self._rebuild(nodes)
+        by_name = {n.name: n for n in nodes}
+        order = [by_name[name] for name in self._ring_order(request.group)]
+        primary = order[0]
+        if (self.spill_width == 0
+                or primary.predicted_backlog(now) <= self.spill_backlog):
+            return primary
+        # Ties break toward ring order, so an idle fleet still lands a
+        # group on its primary (warm weight cache) rather than node 0.
+        candidates = order[:1 + self.spill_width]
+        chosen = min(enumerate(candidates),
+                     key=lambda kv: (kv[1].predicted_backlog(now), kv[0]))[1]
+        if chosen is not primary:
+            self.spills += 1
+        return chosen

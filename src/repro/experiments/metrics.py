@@ -9,11 +9,20 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 import numpy as np
 
 from ..errors import ReproError
+
+# Tail-latency helpers live in repro.obs.stats — ONE quantile code path
+# shared by the serve and cluster report builders; re-exported here for
+# the historical import path (pinned by test_workloads_metrics.py).
+from ..obs.stats import (  # noqa: F401  (re-export)
+    LATENCY_PERCENTILES,
+    latency_summary,
+    percentiles,
+)
 
 
 def percent_error(predicted: float, measured: float) -> float:
@@ -84,49 +93,6 @@ def speedup(time_baseline: float, time_new: float) -> float:
     if time_new <= 0 or time_baseline <= 0:
         raise ReproError("speedup requires positive times")
     return time_baseline / time_new
-
-
-#: Tail percentiles the serving layer reports (p50/p95/p99).
-LATENCY_PERCENTILES = (50, 95, 99)
-
-
-def percentiles(samples: Sequence[float],
-                ps: Sequence[float] = LATENCY_PERCENTILES
-                ) -> List[float]:
-    """Per-percentile values of a sample, linearly interpolated.
-
-    Uses numpy's default ``linear`` interpolation so e.g. the p50 of an
-    even-sized sample is the midpoint average — matching
-    :class:`ErrorDistribution` and the usual latency-report convention.
-    """
-    arr = np.asarray(samples, dtype=np.float64)
-    if arr.size == 0:
-        raise ReproError("percentiles of an empty sample")
-    for p in ps:
-        if not 0 <= p <= 100:
-            raise ReproError(f"percentile outside [0, 100]: {p}")
-    return [float(v) for v in np.percentile(arr, list(ps))]
-
-
-def latency_summary(samples: Sequence[float]) -> dict:
-    """JSON-ready tail-latency summary (used by the serve report).
-
-    Keys: ``n``, ``mean``, ``min``, ``max`` and one ``pNN`` entry per
-    percentile in :data:`LATENCY_PERCENTILES`.
-    """
-    arr = np.asarray(samples, dtype=np.float64)
-    if arr.size == 0:
-        raise ReproError("latency summary of an empty sample")
-    summary = {
-        "n": int(arr.size),
-        "mean": float(arr.mean()),
-        "min": float(arr.min()),
-        "max": float(arr.max()),
-    }
-    for p, value in zip(LATENCY_PERCENTILES,
-                        percentiles(arr, LATENCY_PERCENTILES)):
-        summary[f"p{p}"] = value
-    return summary
 
 
 def overlap_summary(trace, predicted_seconds: Optional[float] = None,

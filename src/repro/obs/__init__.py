@@ -37,6 +37,7 @@ from .profiler import (
     spans_total,
     validate_profile_json,
 )
+from .stats import LATENCY_PERCENTILES, latency_summary, percentiles
 from .verify import (
     FAULT_SUFFIX,
     find_conservation_violations,
@@ -68,6 +69,9 @@ __all__ = [
     "profile_trace",
     "spans_total",
     "validate_profile_json",
+    "LATENCY_PERCENTILES",
+    "latency_summary",
+    "percentiles",
     "FAULT_SUFFIX",
     "find_conservation_violations",
     "find_request_violations",

@@ -17,7 +17,7 @@ or :class:`~repro.sim.device.GpuDevice`.  Design rules:
 
 Metric naming convention: dot-separated, namespaced by layer —
 ``sim.*`` (link/compute engines), ``runtime.*`` (scheduler/routines),
-``multigpu.*`` (sharded gemm).  See DESIGN.md section 8 for the full
+``multigpu.*`` (sharded gemm).  See DESIGN.md section 6c for the full
 catalogue.
 """
 

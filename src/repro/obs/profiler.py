@@ -26,7 +26,7 @@ Definitions (``T = t_end - t_start`` is the trace extent):
 
 The profile *document* (report + metrics registry snapshot + run
 context) is what ``repro profile`` emits; its schema is documented in
-:data:`PROFILE_SCHEMA_VERSION` / DESIGN.md section 8 and enforced by
+:data:`PROFILE_SCHEMA_VERSION` / DESIGN.md section 6c and enforced by
 :func:`validate_profile_json`.
 """
 

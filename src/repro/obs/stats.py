@@ -1,0 +1,63 @@
+"""Shared latency/percentile math for report builders.
+
+One quantile code path for every versioned report: the serving layer
+(``repro.serve/v1``), the cluster layer (``repro.cluster/v1``) and the
+experiment metrics all call :func:`percentiles` / :func:`latency_summary`
+from here, so a p99 in one document is bit-for-bit the same statistic
+as a p99 in any other.  (:mod:`repro.experiments.metrics` re-exports
+these names for backward compatibility; the regression test in
+``tests/experiments/test_workloads_metrics.py`` pins that both import
+paths are the same objects and that the math never forks.)
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from ..errors import ReproError
+
+#: Tail percentiles the serving and cluster layers report (p50/p95/p99).
+LATENCY_PERCENTILES = (50, 95, 99)
+
+
+def percentiles(samples: Sequence[float],
+                ps: Sequence[float] = LATENCY_PERCENTILES
+                ) -> List[float]:
+    """Per-percentile values of a sample, linearly interpolated.
+
+    Uses numpy's default ``linear`` interpolation so e.g. the p50 of an
+    even-sized sample is the midpoint average — matching
+    :class:`~repro.experiments.metrics.ErrorDistribution` and the usual
+    latency-report convention.
+    """
+    arr = np.asarray(samples, dtype=np.float64)
+    if arr.size == 0:
+        raise ReproError("percentiles of an empty sample")
+    for p in ps:
+        if not 0 <= p <= 100:
+            raise ReproError(f"percentile outside [0, 100]: {p}")
+    return [float(v) for v in np.percentile(arr, list(ps))]
+
+
+def latency_summary(samples: Sequence[float]) -> dict:
+    """JSON-ready tail-latency summary (used by the serve and cluster
+    reports).
+
+    Keys: ``n``, ``mean``, ``min``, ``max`` and one ``pNN`` entry per
+    percentile in :data:`LATENCY_PERCENTILES`.
+    """
+    arr = np.asarray(samples, dtype=np.float64)
+    if arr.size == 0:
+        raise ReproError("latency summary of an empty sample")
+    summary = {
+        "n": int(arr.size),
+        "mean": float(arr.mean()),
+        "min": float(arr.min()),
+        "max": float(arr.max()),
+    }
+    for p, value in zip(LATENCY_PERCENTILES,
+                        percentiles(arr, LATENCY_PERCENTILES)):
+        summary[f"p{p}"] = value
+    return summary

@@ -340,31 +340,79 @@ def find_conservation_violations(
     a drain or hedge lost the request (stuck queued/running, zero
     completions) or double-served it (two completions).
 
+    Cluster runs add *migration*: a node drain may hand a request off
+    to another node, leaving a node-local view in state ``MIGRATED``.
+    Views sharing one ``req_id`` are therefore folded into a single
+    fleet-wide request: exactly one view must reach a real terminal
+    state (done/shed/failed), migrated views must carry zero
+    completions, and total completions across all views must be 1 iff
+    the terminal state is done.  Single-node callers passing one view
+    per request get the historical per-request messages unchanged.
+
     ``requests`` are duck-typed: anything with ``state`` (whose
     ``.name`` is one of the :class:`repro.serve.request.RequestState`
-    names) and an integer ``completions`` counter.
+    names) and an integer ``completions`` counter.  Views without a
+    ``req_id`` are never folded together.
     """
+    terminal_names = ("DONE", "SHED", "FAILED")
     violations: List[Tuple[str, str]] = []
+    groups: dict = {}  # key -> [(state name, completions), ...]
+    anon = 0
     for req in requests:
-        rid = getattr(req, "req_id", "?")
+        rid = getattr(req, "req_id", None)
+        if rid is None:
+            key = ("anon", anon)
+            anon += 1
+        else:
+            key = ("id", rid)
         state = getattr(req, "state", None)
         name = getattr(state, "name", str(state))
-        completions = getattr(req, "completions", 0)
-        if name not in ("DONE", "SHED", "FAILED"):
+        groups.setdefault(key, []).append(
+            (name, getattr(req, "completions", 0)))
+    for key, views in groups.items():
+        rid = key[1] if key[0] == "id" else "?"
+        names = [name for name, _ in views]
+        total = sum(c for _, c in views)
+        terminal = [n for n in names if n in terminal_names]
+        for name, completions in views:
+            if name == "MIGRATED" and completions != 0:
+                violations.append((
+                    "request-conservation",
+                    f"request #{rid}: MIGRATED view completed "
+                    f"{completions} times (a handoff carries no "
+                    f"completions)"))
+        stray = [n for n in names
+                 if n not in terminal_names and n != "MIGRATED"]
+        if stray:
             violations.append((
                 "request-conservation",
-                f"request #{rid}: non-terminal final state {name} "
+                f"request #{rid}: non-terminal final state {stray[0]} "
                 f"(lost by a drain or hedge)"))
-        elif name == "DONE" and completions != 1:
+            continue
+        if not terminal:
+            # every view migrated away and nobody finished the job
             violations.append((
                 "request-conservation",
-                f"request #{rid}: DONE with {completions} completions "
+                f"request #{rid}: migrated off every node but never "
+                f"re-served (lost in migration)"))
+            continue
+        if len(terminal) > 1:
+            violations.append((
+                "request-conservation",
+                f"request #{rid}: {len(terminal)} terminal views "
+                f"({', '.join(terminal)}) — served on multiple nodes"))
+            continue
+        final = terminal[0]
+        if final == "DONE" and total != 1:
+            violations.append((
+                "request-conservation",
+                f"request #{rid}: DONE with {total} completions "
                 f"(expected exactly 1)"))
-        elif name != "DONE" and completions != 0:
+        elif final != "DONE" and total != 0:
             violations.append((
                 "request-conservation",
-                f"request #{rid}: {name} yet completed "
-                f"{completions} times"))
+                f"request #{rid}: {final} yet completed "
+                f"{total} times"))
     return violations
 
 

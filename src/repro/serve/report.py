@@ -39,7 +39,7 @@ import json
 from typing import Dict, List, Optional
 
 from ..errors import ReproError
-from ..experiments.metrics import latency_summary, percentiles
+from ..obs.stats import latency_summary, percentiles
 from .request import RequestState
 from .server import ServeOutcome, WorkerStats
 

@@ -39,6 +39,10 @@ class RequestState(enum.Enum):
     DONE = "done"            #: completed successfully
     SHED = "shed"            #: rejected by admission control
     FAILED = "failed"        #: execution failed (fault retry exhausted)
+    #: Handed off to another node by a cluster drain.  Terminal for the
+    #: node-local view; the fleet-wide conservation check requires some
+    #: *other* view of the same req_id to reach a real terminal state.
+    MIGRATED = "migrated"
 
 
 @dataclass

@@ -94,6 +94,10 @@ class ServerConfig:
     #: hybrid "fluid" (collapses saturated-link transfer runs into
     #: analytic completion times; see sim/fluid.py for the error model).
     sim_mode: str = "exact"
+    #: Event scheduler behind the clock: "calendar", "heap", or None
+    #: for the process default (see sim/engine.py).  Both orders are
+    #: event-for-event identical; the knob exists for equivalence runs.
+    scheduler: Optional[str] = None
     # -- fault-domain health (see serve/resilience.py) ------------------
     #: EWMA smoothing of observed/predicted service-time inflation.
     health_alpha: float = 0.25
@@ -124,6 +128,9 @@ class ServerConfig:
             raise ServeError(f"unknown placement policy {self.placement!r}")
         if self.sim_mode not in ("exact", "fluid"):
             raise ServeError(f"unknown sim_mode {self.sim_mode!r}")
+        if self.scheduler is not None and self.scheduler not in (
+                "calendar", "heap"):
+            raise ServeError(f"unknown scheduler {self.scheduler!r}")
         if self.admission not in ADMISSION_MODES:
             raise ServeError(f"unknown admission mode {self.admission!r}")
         if self.batch_max < 1:
@@ -238,7 +245,8 @@ class BlasServer:
         self.models = models
         self.config = config if config is not None else ServerConfig()
         self.metrics = metrics
-        self.sim = Simulator(mode=self.config.sim_mode)
+        self.sim = Simulator(mode=self.config.sim_mode,
+                             scheduler=self.config.scheduler)
         self.monitor = HealthMonitor(
             self.config.n_gpus,
             alpha=self.config.health_alpha,
@@ -267,6 +275,17 @@ class BlasServer:
         self._gpu_traces: List[List[list]] = [
             [] for _ in range(self.config.n_gpus)]
         self._served = False
+        # -- incremental (cluster-node) serving ----------------------
+        #: True between begin() and finish(); serve() keeps it False.
+        self._incremental = False
+        self._retain = True
+        self._on_terminal = None
+        self._outstanding = 0
+        self._requests: List[Request] = []
+        #: In-flight host batch and its completion event, tracked so a
+        #: cluster evacuation can cancel host work mid-service.  Pure
+        #: bookkeeping: the one-shot serve() path never reads it.
+        self._host_inflight: Optional[Tuple[_Batch, object]] = None
         # -- fault-domain state --------------------------------------
         #: In-flight batch per GPU index (drains cancel through this).
         self._inflight: Dict[int, _Batch] = {}
@@ -303,6 +322,180 @@ class BlasServer:
         self.sim.run()
         end = max((r.completion_t for r in self._requests
                    if r.completion_t is not None), default=0.0)
+        return ServeOutcome(
+            requests=self._requests,
+            config=self.config,
+            gpu_stats=self._stats,
+            host_stats=self._host_stats,
+            n_batches=self._next_batch,
+            end_time=end,
+            gpu_traces=self._gpu_traces,
+            faulted=self._faulted,
+            resilience=self._device_counters,
+            resilience_stats=self._stats_res,
+            health=self.monitor.snapshot(),
+            health_transitions=list(self.monitor.transitions),
+        )
+
+    # -- incremental serving (cluster-node mode) ------------------------
+    #
+    # A cluster node cannot hand the server a complete request list up
+    # front: the router feeds it arrivals one epoch at a time while a
+    # coordinator drives its clock with Simulator.run_to().  begin() /
+    # submit() / finish() expose exactly that — the same arrival,
+    # dispatch and recovery machinery as serve(), minus the outer
+    # sim.run().  The one-shot serve() path never touches any of this
+    # (``_incremental`` stays False), so single-node documents stay
+    # byte-identical.
+
+    def _terminal(self, request: Request) -> None:
+        """One request reached done/shed/failed: incremental-mode
+        accounting plus the cluster's terminal callback.  No-op on the
+        one-shot serve() path."""
+        if not self._incremental:
+            return
+        self._outstanding -= 1
+        if self._on_terminal is not None:
+            self._on_terminal(request)
+
+    def begin(self, retain: bool = True, on_terminal=None) -> None:
+        """Open an incremental session (mutually exclusive with serve).
+
+        retain
+            Keep submitted requests in an internal list for
+            :meth:`finish`.  Cluster nodes pass False and account
+            terminals through ``on_terminal`` instead, so a million
+            requests never pile up in memory.
+        on_terminal
+            Callback invoked with each request as it reaches a real
+            terminal state (done/shed/failed; *not* migrated).
+        """
+        if self._served:
+            raise ServeError("a BlasServer instance serves exactly once")
+        self._served = True
+        self._incremental = True
+        self._retain = retain
+        self._on_terminal = on_terminal
+        self._schedule_lifecycle()
+
+    def submit(self, request: Request) -> None:
+        """Schedule one request's arrival on the node clock.
+
+        A migrated request keeps its original ``arrival`` (its EDF
+        slack and latency accounting stay honest) but cannot arrive in
+        the node's past, so it lands at ``max(arrival, now)``.
+        """
+        if not self._incremental:
+            raise ServeError("submit() requires begin() first")
+        self._outstanding += 1
+        if self._retain:
+            self._requests.append(request)
+        self.sim.schedule_at(max(request.arrival, self.sim.now),
+                             lambda r=request: self._on_arrival(r))
+
+    @property
+    def outstanding(self) -> int:
+        """Submitted requests not yet in a terminal state."""
+        return self._outstanding
+
+    def predicted_backlog(self, now: Optional[float] = None) -> float:
+        """Predicted seconds of work ahead of a new arrival, node-wide:
+        in-flight remaining time plus every queue's admission-time
+        service predictions.  The cluster router's scoring signal."""
+        if now is None:
+            now = self.sim.now
+        total = self.dispatcher.host.backlog(now)
+        for gpu in self.dispatcher.gpus:
+            total += gpu.backlog(now)
+        return total
+
+    def drain_queued(self) -> List[Request]:
+        """Graceful scale-down: hand back all *queued* work, migrated.
+
+        In-flight batches run to completion on this node; every queued
+        request is popped (EDF order per worker, GPUs then host) and
+        marked MIGRATED with arrival/deadline untouched, for the caller
+        to re-place elsewhere.
+        """
+        if not self._incremental:
+            raise ServeError("drain_queued() requires begin() first")
+        moved: List[Request] = []
+        for state in (*self.dispatcher.gpus, self.dispatcher.host):
+            while state.queue:
+                moved.append(state.queue.pop())
+        for request in moved:
+            request.state = RequestState.MIGRATED
+            request.worker = None
+            request.dispatch_t = None
+            request.first_t = None
+            request.batch_id = None
+            self._outstanding -= 1
+        return moved
+
+    def evacuate(self) -> List[Request]:
+        """Hard stop (node kill): drain queues AND cancel in-flight.
+
+        Cancelled batches are accounted like a domain drain — device
+        time charged, counters folded — and their still-RUNNING members
+        come back MIGRATED alongside the queued work.  The node's clock
+        survives but nothing new will fire for these requests.
+        """
+        moved = self.drain_queued()
+        now = self.sim.now
+        for index in sorted(self._inflight):
+            batch = self._inflight[index]
+            if batch.settled:
+                continue
+            batch.settled = True
+            batch.cancelled = True
+            if batch.watchdog is not None:
+                batch.watchdog.cancel()
+            stats = self._stats[index]
+            stats.busy_seconds += now - batch.t0
+            stats.batches += 1
+            if batch.device is not None:
+                self._device_counters.add(batch.device.resilience)
+            state = self.dispatcher.gpus[index]
+            state.busy = False
+            state.running_pred_end = 0.0
+            # Hedge twins share one members list; the RUNNING check
+            # keeps the second copy from migrating a member twice.
+            for member in batch.members:
+                if member.state is RequestState.RUNNING:
+                    member.state = RequestState.MIGRATED
+                    member.worker = None
+                    member.dispatch_t = None
+                    member.first_t = None
+                    member.batch_id = None
+                    self._outstanding -= 1
+                    moved.append(member)
+        self._inflight.clear()
+        if self._host_inflight is not None:
+            batch, ev = self._host_inflight
+            ev.cancel()
+            self._host_inflight = None
+            self._host_stats.busy_seconds += now - batch.t0
+            self._host_stats.batches += 1
+            host = self.dispatcher.host
+            host.busy = False
+            host.running_pred_end = 0.0
+            for member in batch.members:
+                if member.state is RequestState.RUNNING:
+                    member.state = RequestState.MIGRATED
+                    member.worker = None
+                    member.dispatch_t = None
+                    member.first_t = None
+                    member.batch_id = None
+                    self._outstanding -= 1
+                    moved.append(member)
+        return moved
+
+    def finish(self) -> ServeOutcome:
+        """Close an incremental session and aggregate the outcome."""
+        if not self._incremental:
+            raise ServeError("finish() requires begin() first")
+        end = max((r.completion_t for r in self._requests
+                   if r.completion_t is not None), default=self.sim.now)
         return ServeOutcome(
             requests=self._requests,
             config=self.config,
@@ -416,12 +609,14 @@ class BlasServer:
             self._stats_res.unavailable_shed += 1
             self._count("serve.shed")
             self._count("serve.unavailable_shed")
+            self._terminal(request)
             return
         decision = self.dispatcher.admit(request, placement)
         request.enqueue_t = now
         if decision == "shed":
             request.state = RequestState.SHED
             self._count("serve.shed")
+            self._terminal(request)
             return
         if decision == "downgrade":
             self._count("serve.downgraded")
@@ -430,7 +625,8 @@ class BlasServer:
         request.worker = placement.worker
         request.predicted_seconds = placement.predicted_seconds
         request.predicted_completion = placement.predicted_completion
-        self._placements[request.req_id] = placement
+        if self._retain:
+            self._placements[request.req_id] = placement
         self.dispatcher.state_for(placement.worker).queue.push(request)
         self._gauge_depth()
         self._maybe_dispatch(placement.worker)
@@ -704,6 +900,7 @@ class BlasServer:
         else:
             member.state = RequestState.FAILED
             self._count("serve.failed")
+            self._terminal(member)
 
     # -- drain & requeue ------------------------------------------------
 
@@ -775,6 +972,7 @@ class BlasServer:
             self._stats_res.unavailable_shed += 1
             self._count("serve.shed")
             self._count("serve.unavailable_shed")
+            self._terminal(request)
             return None
         request.state = RequestState.QUEUED
         request.worker = placement.worker
@@ -785,7 +983,8 @@ class BlasServer:
             request.fallback = True
         request.predicted_seconds = placement.predicted_seconds
         request.predicted_completion = placement.predicted_completion
-        self._placements[request.req_id] = placement
+        if self._retain:
+            self._placements[request.req_id] = placement
         self.dispatcher.state_for(placement.worker).queue.push(request)
         self._stats_res.requeues += 1
         self._count("serve.requeues")
@@ -805,11 +1004,13 @@ class BlasServer:
         host.running_pred_end = self.sim.now + service
         for member in batch.members:
             member.first_t = self.sim.now
-        self.sim.schedule(service,
-                          lambda b=batch, s=service: self._finish_host(b, s))
+        ev = self.sim.schedule(
+            service, lambda b=batch, s=service: self._finish_host(b, s))
+        self._host_inflight = (batch, ev)
 
     def _finish_host(self, batch: _Batch, service: float) -> None:
         host = self.dispatcher.host
+        self._host_inflight = None
         end = self.sim.now
         self._host_stats.busy_seconds += service
         self._host_stats.batches += 1
@@ -842,3 +1043,4 @@ class BlasServer:
                           abs(predicted_latency - latency) / latency)
         if request.slo_met is False:
             self._count("serve.slo_misses")
+        self._terminal(request)

@@ -333,6 +333,65 @@ class Simulator:
             self._running = False
         return fired
 
+    def run_to(self, time: float, max_events: int = 50_000_000) -> int:
+        """Fire every event with timestamp <= ``time``, then set the
+        clock to exactly ``time``.  Returns the number fired.
+
+        The lock-step epoch barrier the cluster coordinator leans on:
+        each node's simulator is driven to one shared instant before
+        the router observes its backlog, so cross-node comparisons are
+        always between clocks at the same virtual time.  Batch-drains
+        exact mode like :meth:`run` (FIFO within a timestamp is
+        preserved); fluid mode routes through the interleaved loop so
+        flow completions inside the window fire too.
+        """
+        if time < self._now:
+            raise SimulationError(
+                f"cannot run to t={time} before now={self._now}"
+            )
+        if self.mode != "exact" or self._flows:
+            def _past_window() -> bool:
+                nxt = self.peek_next_time()
+                return nxt is None or nxt > time
+            fired = self._run_fluid(_past_window, max_events)
+            self._now = time
+            return fired
+        if self._running:
+            raise SimulationError("simulator is already running (re-entrant run)")
+        self._running = True
+        fired = 0
+        queue = self._queue
+        try:
+            while True:
+                nxt: Optional[float] = None
+                while True:
+                    head = queue.peek()
+                    if head is None:
+                        break
+                    if head[2].cancelled:
+                        queue.pop()
+                        continue
+                    nxt = head[0]
+                    break
+                if nxt is None or nxt > time:
+                    break
+                batch = queue.pop_batch()
+                self._now = batch[0][0]
+                for entry in batch:
+                    ev = entry[2]
+                    if not ev.cancelled:
+                        ev.callback()
+                        fired += 1
+                if fired > max_events:
+                    raise SimulationError(
+                        f"event budget exhausted after {max_events} events; "
+                        "likely a scheduling cycle"
+                    )
+        finally:
+            self._running = False
+        self._now = time
+        return fired
+
     def _run_fluid(self, predicate: Optional[Callable[[], bool]], max_events: int) -> int:
         """Interleave discrete events with analytic flow completions.
 

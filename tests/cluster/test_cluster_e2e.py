@@ -1,0 +1,167 @@
+"""End-to-end cluster tests: lock-step fleet, scaling, kills, bytes.
+
+Everything here drives a real fleet of incremental :class:`BlasServer`
+nodes through the coordinator on a phased bursty trace — small enough
+to stay fast, busy enough to exercise scale-up, scale-down, migration
+and the conservation verdict.
+"""
+
+import pytest
+
+from repro.cluster import (
+    AutoscalerConfig,
+    ClusterConfig,
+    ClusterCoordinator,
+    ClusterWorkloadSpec,
+    cluster_document,
+    dump_cluster_document,
+    iter_cluster_workload,
+    validate_cluster_json,
+)
+from repro.serve import ServeError, ServerConfig
+
+
+SPEC = ClusterWorkloadSpec(n_requests=400, rate=300.0, seed=0)
+
+
+def make_coordinator(tb1, models_tb1, *, seed=0, nodes=3, router="predicted",
+                     autoscale=True, spill_backlog=0.25):
+    config = ClusterConfig(
+        nodes=nodes, gpus_per_node=2, router=router, autoscale=autoscale,
+        spill_backlog=spill_backlog,
+        autoscaler=AutoscalerConfig(min_nodes=2, max_nodes=6))
+    return ClusterCoordinator(tb1, models_tb1, config,
+                              ServerConfig(seed=seed))
+
+
+def run(tb1, models_tb1, *, kills=None, **kwargs):
+    coord = make_coordinator(tb1, models_tb1, **kwargs)
+    return coord.run(iter_cluster_workload(SPEC), kill_events=kills)
+
+
+class TestDeterminism:
+    def test_same_seed_same_bytes(self, tb1, models_tb1):
+        docs = []
+        for _ in range(2):
+            outcome = run(tb1, models_tb1)
+            docs.append(dump_cluster_document(
+                cluster_document(outcome, context={"seed": 0})))
+        assert docs[0] == docs[1]
+
+    def test_kill_run_is_deterministic_too(self, tb1, models_tb1):
+        docs = []
+        for _ in range(2):
+            outcome = run(tb1, models_tb1, kills=[(0.4, "node1")])
+            docs.append(dump_cluster_document(
+                cluster_document(outcome, context={})))
+        assert docs[0] == docs[1]
+
+
+class TestHealthyRun:
+    @pytest.fixture(scope="class")
+    def outcome(self, tb1, models_tb1):
+        return run(tb1, models_tb1)
+
+    def test_conserved_and_accounted(self, outcome):
+        assert outcome.conservation_ok
+        assert outcome.accounted == SPEC.n_requests
+        assert not outcome.violations
+
+    def test_autoscaler_moved_the_fleet(self, outcome):
+        actions = [e["action"] for e in outcome.scale_events]
+        assert "up" in actions, actions
+        assert "down" in actions, actions
+        # Every event carries its reasoning snapshot.
+        for event in outcome.scale_events:
+            assert set(event["reason"]) >= {"desired", "active",
+                                            "backlog_per_node"}
+
+    def test_scaled_down_node_stopped_gracefully(self, outcome):
+        downs = [e for e in outcome.scale_events if e["action"] == "down"]
+        assert downs
+        for event in downs:
+            node = next(n for n in outcome.nodes
+                        if n.name == event["node"])
+            assert node.state == "stopped"
+            assert node.outstanding == 0
+
+    def test_fleet_counts_are_consistent(self, outcome):
+        completed = sum(n.completed for n in outcome.nodes)
+        shed = sum(n.shed for n in outcome.nodes)
+        failed = sum(n.failed for n in outcome.nodes)
+        assert completed + shed + failed == SPEC.n_requests
+        routed = sum(n.routed for n in outcome.nodes)
+        assert routed == SPEC.n_requests + outcome.migrations
+
+    def test_document_validates(self, outcome):
+        doc = cluster_document(outcome, context={"seed": 0})
+        validate_cluster_json(doc)
+        report = doc["report"]
+        assert report["fleet"]["requests"]["total"] == SPEC.n_requests
+        assert report["conservation"]["ok"] is True
+        assert report["fleet"]["latency"]["n"] > 0
+
+    def test_predicted_backlog_ledger_settles_to_zero(self, outcome):
+        # Closed-loop ledger: after quiescence nothing is in-system.
+        for node in outcome.nodes:
+            assert node.predicted_backlog(1e9) == pytest.approx(0.0,
+                                                                abs=1e-9)
+            assert not node._pred_by_id
+
+
+class TestKillNode:
+    def test_kill_migrates_and_conserves(self, tb1, models_tb1):
+        outcome = run(tb1, models_tb1, kills=[(0.4, "node1")])
+        assert outcome.conservation_ok
+        assert outcome.migrations > 0
+        killed = next(n for n in outcome.nodes if n.name == "node1")
+        assert killed.state == "stopped"
+        assert killed.migrated_out > 0
+        kills = [e for e in outcome.scale_events if e["action"] == "kill"]
+        assert len(kills) == 1
+        assert kills[0]["node"] == "node1"
+        assert kills[0]["reason"]["migrated"] == killed.migrated_out
+
+    def test_kill_of_unknown_node_is_ignored(self, tb1, models_tb1):
+        outcome = run(tb1, models_tb1, kills=[(0.4, "node9")])
+        assert outcome.conservation_ok
+        assert not any(e["action"] == "kill" for e in outcome.scale_events)
+
+    def test_killing_the_whole_fleet_fails_loudly(self, tb1, models_tb1):
+        coord = make_coordinator(tb1, models_tb1, nodes=2, autoscale=False)
+        with pytest.raises(ServeError, match="no active node"):
+            coord.run(iter_cluster_workload(SPEC),
+                      kill_events=[(0.01, "node0"), (0.01, "node1")])
+
+
+class TestRouterPolicies:
+    def test_least_connections_also_conserves(self, tb1, models_tb1):
+        outcome = run(tb1, models_tb1, router="least_connections")
+        assert outcome.conservation_ok
+        assert outcome.router_policy == "least_connections"
+        assert outcome.spills == 0  # lc never consults the ring
+
+    def test_tight_spill_threshold_spills(self, tb1, models_tb1):
+        outcome = run(tb1, models_tb1, autoscale=False, nodes=4,
+                      spill_backlog=0.002)
+        assert outcome.conservation_ok
+        assert outcome.spills > 0
+
+
+class TestCoordinatorContract:
+    def test_runs_exactly_once(self, tb1, models_tb1):
+        coord = make_coordinator(tb1, models_tb1)
+        coord.run(iter_cluster_workload(SPEC))
+        with pytest.raises(ServeError, match="exactly once"):
+            coord.run(iter_cluster_workload(SPEC))
+
+    def test_initial_fleet_outside_scaler_bounds_rejected(self):
+        with pytest.raises(ServeError, match="outside autoscaler"):
+            ClusterConfig(nodes=1,
+                          autoscaler=AutoscalerConfig(min_nodes=2,
+                                                      max_nodes=4))
+
+    def test_per_node_seeds_differ(self, tb1, models_tb1):
+        coord = make_coordinator(tb1, models_tb1, nodes=3)
+        seeds = {n.config.seed for n in coord.nodes}
+        assert len(seeds) == 3

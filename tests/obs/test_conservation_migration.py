@@ -1,0 +1,115 @@
+"""Migration-aware request-conservation tests.
+
+Cluster drains leave node-local views in state MIGRATED; views sharing
+one ``req_id`` fold into a single fleet-wide request.  These tests pin
+the folding rules — exactly one terminal view, migrated views carry no
+completions, total completions match the terminal state — plus the
+single-view (historical) behavior staying byte-for-byte the same.
+"""
+
+from repro.obs import find_conservation_violations
+from repro.serve import RequestState
+
+
+class View:
+    def __init__(self, req_id, state, completions=0):
+        self.req_id = req_id
+        self.state = state
+        self.completions = completions
+
+
+def violations(*views):
+    return find_conservation_violations(views)
+
+
+class TestSingleViewBehaviorUnchanged:
+    def test_done_once_is_clean(self):
+        assert not violations(View(1, RequestState.DONE, 1))
+
+    def test_shed_and_failed_are_clean(self):
+        assert not violations(View(1, RequestState.SHED),
+                              View(2, RequestState.FAILED))
+
+    def test_done_without_completion(self):
+        out = violations(View(1, RequestState.DONE, 0))
+        assert len(out) == 1
+        assert "expected exactly 1" in out[0][1]
+
+    def test_double_completion(self):
+        out = violations(View(1, RequestState.DONE, 2))
+        assert "2 completions" in out[0][1]
+
+    def test_non_terminal_state_is_lost(self):
+        out = violations(View(1, RequestState.QUEUED))
+        assert "non-terminal" in out[0][1]
+
+    def test_shed_with_completion(self):
+        out = violations(View(1, RequestState.SHED, 1))
+        assert "SHED yet completed" in out[0][1]
+
+
+class TestMigrationFolding:
+    def test_migrate_then_done_is_clean(self):
+        assert not violations(View(7, RequestState.MIGRATED),
+                              View(7, RequestState.DONE, 1))
+
+    def test_migrate_chain_then_done_is_clean(self):
+        assert not violations(View(7, RequestState.MIGRATED),
+                              View(7, RequestState.MIGRATED),
+                              View(7, RequestState.DONE, 1))
+
+    def test_migrate_then_shed_is_clean(self):
+        assert not violations(View(7, RequestState.MIGRATED),
+                              View(7, RequestState.SHED))
+
+    def test_migrated_everywhere_never_served(self):
+        out = violations(View(7, RequestState.MIGRATED),
+                         View(7, RequestState.MIGRATED))
+        assert len(out) == 1
+        assert "lost in migration" in out[0][1]
+
+    def test_migrated_view_must_not_complete(self):
+        out = violations(View(7, RequestState.MIGRATED, 1),
+                         View(7, RequestState.DONE, 1))
+        assert any("handoff carries no completions" in message
+                   for _inv, message in out)
+
+    def test_double_service_across_nodes(self):
+        out = violations(View(7, RequestState.DONE, 1),
+                         View(7, RequestState.DONE, 1))
+        assert len(out) == 1
+        assert "served on multiple nodes" in out[0][1]
+
+    def test_done_and_shed_is_double_terminal(self):
+        out = violations(View(7, RequestState.DONE, 1),
+                         View(7, RequestState.SHED))
+        assert "2 terminal views" in out[0][1]
+
+    def test_migrated_plus_stuck_view(self):
+        out = violations(View(7, RequestState.MIGRATED),
+                         View(7, RequestState.RUNNING))
+        assert any("non-terminal" in message for _inv, message in out)
+
+    def test_completions_summed_across_views(self):
+        # Terminal DONE on node B but the migrated copy also completed
+        # on node A: 2 total completions must be flagged even though
+        # the DONE view alone looks fine.
+        out = violations(View(7, RequestState.MIGRATED, 1),
+                         View(7, RequestState.DONE, 0))
+        # MIGRATED-with-completions plus DONE-total-1: the handoff
+        # violation fires; the total of 1 keeps the DONE check quiet.
+        assert any("handoff" in message for _inv, message in out)
+
+    def test_distinct_ids_never_fold(self):
+        assert not violations(View(1, RequestState.MIGRATED),
+                              View(2, RequestState.DONE, 1),
+                              View(1, RequestState.DONE, 1))
+
+    def test_views_without_ids_stay_separate(self):
+        class Anon:
+            def __init__(self, state, completions):
+                self.state = state
+                self.completions = completions
+
+        assert not violations(Anon(RequestState.DONE, 1),
+                              Anon(RequestState.DONE, 1))
