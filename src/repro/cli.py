@@ -322,11 +322,16 @@ def cmd_serve(args) -> int:
         n_requests=args.requests,
         scale=args.workload_scale,
         seed=args.seed,
+        deadline_fraction=args.deadline_fraction,
+        slack_lo=args.slack_lo,
+        slack_hi=args.slack_hi,
+        burst_size=args.burst_size,
     )
     config = ServerConfig(
         n_gpus=args.gpus,
         placement=args.placement,
         admission=args.admission,
+        admission_percentile=args.admission_percentile,
         model=args.model,
         batching=not args.no_batching,
         host_offload=not args.no_host_offload,
@@ -337,7 +342,7 @@ def cmd_serve(args) -> int:
     registry = MetricsRegistry()
     server = BlasServer(machine, models, config, metrics=registry)
     outcome = server.serve(generate_workload(spec))
-    doc = serve_document(outcome, metrics=registry, context={
+    context = {
         "machine": args.machine,
         "scale": args.scale,
         "workload": spec_as_dict(spec),
@@ -346,7 +351,12 @@ def cmd_serve(args) -> int:
         "admission": args.admission,
         "model": args.model,
         "faults": plan.name if plan is not None else None,
-    })
+    }
+    if args.admission_percentile is not None:
+        # Keyed in only when the flag is given, so mean-based runs keep
+        # their exact pre-flag document bytes.
+        context["admission_percentile"] = args.admission_percentile
+    doc = serve_document(outcome, metrics=registry, context=context)
 
     os.makedirs(args.out_dir, exist_ok=True)
     serve_path = os.path.join(args.out_dir, "serve.json")
@@ -506,6 +516,7 @@ def cmd_cluster(args) -> int:
     )
     server_config = ServerConfig(
         admission=args.admission,
+        admission_percentile=args.admission_percentile,
         seed=args.seed,
         sim_mode=args.sim_mode,
         scheduler=args.scheduler,
@@ -515,7 +526,7 @@ def cmd_cluster(args) -> int:
                                      server_config)
     outcome = coordinator.run(iter_cluster_workload(spec),
                               kill_events=kills or None)
-    doc = cluster_document(outcome, context={
+    context = {
         "machine": args.machine,
         "scale": args.scale,
         "workload": cluster_spec_as_dict(spec),
@@ -525,7 +536,10 @@ def cmd_cluster(args) -> int:
         "admission": args.admission,
         "autoscale": not args.no_autoscale,
         "kill_events": [[t, name] for t, name in kills],
-    })
+    }
+    if args.admission_percentile is not None:
+        context["admission_percentile"] = args.admission_percentile
+    doc = cluster_document(outcome, context=context)
 
     os.makedirs(args.out_dir, exist_ok=True)
     cluster_path = os.path.join(args.out_dir, "cluster.json")
@@ -713,6 +727,25 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--admission", default="shed",
                          choices=("none", "shed", "downgrade"),
                          help="admission control (default: shed)")
+    p_serve.add_argument("--admission-percentile", type=float, default=None,
+                         metavar="P",
+                         help="judge admission against the predicted latency "
+                              "at this percentile (e.g. 99) instead of the "
+                              "mean; default: mean-based")
+    # Workload shaping (defaults match WorkloadSpec, so omitting them
+    # reproduces historical documents byte-for-byte).
+    p_serve.add_argument("--deadline-fraction", type=float, default=0.75,
+                         help="fraction of requests carrying a deadline "
+                              "(default: 0.75)")
+    p_serve.add_argument("--slack-lo", type=float, default=2.0,
+                         help="deadline slack lower bound, x reference "
+                              "time (default: 2)")
+    p_serve.add_argument("--slack-hi", type=float, default=8.0,
+                         help="deadline slack upper bound, x reference "
+                              "time (default: 8)")
+    p_serve.add_argument("--burst-size", type=int, default=8,
+                         help="requests per burst for --arrival bursty "
+                              "(default: 8)")
     p_serve.add_argument("--model", default="auto",
                          help="prediction model for placement "
                               "(default: auto)")
@@ -789,6 +822,11 @@ def build_parser() -> argparse.ArgumentParser:
                            choices=("none", "shed", "downgrade"),
                            help="per-node admission control "
                                 "(default: shed)")
+    p_cluster.add_argument("--admission-percentile", type=float,
+                           default=None, metavar="P",
+                           help="judge per-node admission against the "
+                                "predicted latency at this percentile "
+                                "(e.g. 99); default: mean-based")
     p_cluster.add_argument("--seed", type=int, default=0,
                            help="trace + fleet seed (default: 0)")
     p_cluster.add_argument("--no-autoscale", action="store_true",

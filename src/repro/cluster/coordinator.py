@@ -38,6 +38,7 @@ from dataclasses import dataclass, replace
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..core.predcache import PredictionCache
+from ..core.tailbank import PercentileBank
 from ..obs.verify import find_conservation_violations
 from ..serve.request import Request, RequestState, ServeError
 from ..serve.server import ServerConfig
@@ -105,6 +106,9 @@ class ClusterOutcome:
     conserved: int
     accounted: int
     violations: List[Tuple[str, str]]
+    #: Fleet-shared tail-bank snapshot (percentile-admission runs only;
+    #: None keeps mean-mode cluster documents byte-identical).
+    tail_snapshot: Optional[dict] = None
 
     @property
     def conservation_ok(self) -> bool:
@@ -129,6 +133,14 @@ class ClusterCoordinator:
         #: One prediction cache across the fleet: nodes are homogeneous,
         #: so tile-selection work done on one node serves all.
         self.prediction_cache = PredictionCache()
+        #: Fleet-shared residual bank (percentile-admission mode only):
+        #: every node observes into and admits from the same quantiles.
+        if self.server_config.admission_percentile is not None:
+            self.tail_bank: Optional[PercentileBank] = (
+                models.tail if getattr(models, "tail", None) is not None
+                else PercentileBank())
+        else:
+            self.tail_bank = None
         self.router = ClusterRouter(
             policy=self.config.router, replicas=self.config.replicas,
             spill_width=self.config.spill_width,
@@ -158,7 +170,8 @@ class ClusterCoordinator:
         node = ClusterNode(
             self._next_index, self.machine, self.models, self.server_config,
             provisioned_t=now, warmup=warmup,
-            prediction_cache=self.prediction_cache)
+            prediction_cache=self.prediction_cache,
+            tail_bank=self.tail_bank)
         node.on_terminal_view = self._note_terminal
         self._next_index += 1
         self.nodes.append(node)
@@ -210,7 +223,13 @@ class ClusterCoordinator:
                     _View(rid, request.state, request.completions))
         if (request.state is RequestState.DONE
                 and request.predicted_seconds is not None):
-            self.autoscaler.observe_service(request.predicted_seconds)
+            # Percentile-admission mode feeds the autoscaler's service
+            # EWMA the tail-inflated estimate: capacity decisions then
+            # provision for the p-th percentile demand, not the mean.
+            est = (request.predicted_tail_seconds
+                   if request.predicted_tail_seconds is not None
+                   else request.predicted_seconds)
+            self.autoscaler.observe_service(est)
 
     # -- migration --------------------------------------------------------
 
@@ -224,6 +243,11 @@ class ClusterCoordinator:
                             arrival=old.arrival, priority=old.priority,
                             deadline=old.deadline, group=old.group)
             fresh.requeues = old.requeues + 1
+            # A downgraded request keeps its SLO identity across the
+            # migration: the arrival deadline it is judged against must
+            # not vanish with the node that downgraded it.
+            fresh.downgraded = old.downgraded
+            fresh.original_deadline = old.original_deadline
             self.migrations += 1
             target = self.router.route(fresh, active, now)
             target.submit(fresh)
@@ -355,7 +379,19 @@ class ClusterCoordinator:
             conserved=self._conserved,
             accounted=accounted,
             violations=violations,
+            tail_snapshot=self._tail_snapshot(),
         )
+
+    def _tail_snapshot(self) -> Optional[dict]:
+        """The shared bank's state plus fleet-summed admission counters
+        (None outside percentile-admission mode)."""
+        if self.tail_bank is None:
+            return None
+        snap = self.tail_bank.snapshot()
+        snap["percentile"] = self.server_config.admission_percentile
+        snap["tail_rejections"] = sum(
+            n.server.dispatcher.tail_rejections for n in self.nodes)
+        return snap
 
     def _all_views(self) -> List[_View]:
         views: List[_View] = []

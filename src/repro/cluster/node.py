@@ -39,13 +39,19 @@ class ClusterNode:
 
     def __init__(self, index: int, machine, models, config: ServerConfig,
                  provisioned_t: float, warmup: float,
-                 prediction_cache=None) -> None:
+                 prediction_cache=None, tail_bank=None) -> None:
         self.index = index
         self.name = f"node{index}"
         self.config = replace(
             config, seed=config.seed + _NODE_SEED_PRIME * index)
+        # The tail bank (percentile-admission mode) is fleet-shared:
+        # nodes are homogeneous, so residual ratios observed on one
+        # node refine admission on all.  The epoch barrier drives nodes
+        # in index order, so the shared observation sequence — and with
+        # it the bank's count-scheduled refits — is deterministic.
         self.server = BlasServer(machine, models, self.config,
-                                 prediction_cache=prediction_cache)
+                                 prediction_cache=prediction_cache,
+                                 tail_bank=tail_bank)
         self.server.begin(retain=False, on_terminal=self._on_terminal)
         self.state = "warming" if warmup > 0 else "active"
         self.provisioned_t = provisioned_t
@@ -99,8 +105,15 @@ class ClusterNode:
     def _charge(self, request: Request) -> None:
         placement = self.server.dispatcher.place(request,
                                                  self.server.sim.now)
-        est = (placement.predicted_seconds if placement is not None
-               else 0.0)
+        if placement is None:
+            est = 0.0
+        elif placement.tail_seconds is not None:
+            # Percentile-admission mode: the backlog ledger carries the
+            # tail-inflated estimate, so the router's spill decisions
+            # see the pessimistic (p-th percentile) queue, not the mean.
+            est = placement.tail_seconds
+        else:
+            est = placement.predicted_seconds
         self._pred_in_system += est
         self._pred_by_id[request.req_id] = est
 

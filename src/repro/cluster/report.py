@@ -14,6 +14,7 @@ Shape (validated by :func:`validate_cluster_json`):
           "latency": {n, mean, min, max, p50, p95, p99} | null,
           "throughput_rps": float, "makespan": float,
           "nodes_provisioned": int, "nodes_final": int,
+          "prediction": {tail: {...}}?,   # percentile-admission runs
         },
         "nodes": [{node, state, provisioned_t, available_t, stopped_t,
                    routed, completed, shed, failed, migrated_out,
@@ -39,6 +40,7 @@ from typing import Dict, List, Optional
 
 from ..errors import ReproError
 from ..obs.stats import latency_summary
+from ..serve.report import validate_tail_block
 from .coordinator import ClusterOutcome
 from .router import ROUTER_POLICIES
 
@@ -58,28 +60,33 @@ def cluster_report(outcome: ClusterOutcome) -> Dict[str, object]:
         latencies.extend(n.latencies)
     makespan = outcome.end_time
     events = outcome.scale_events
-    return {
-        "fleet": {
-            "requests": {
-                "total": outcome.n_requests,
-                "completed": completed,
-                "shed": shed,
-                "failed": failed,
-                "migrations": outcome.migrations,
-                "slo": {
-                    "met": met,
-                    "missed": missed,
-                    "attainment": (met / (met + missed)
-                                   if met + missed else 1.0),
-                },
+    fleet: Dict[str, object] = {
+        "requests": {
+            "total": outcome.n_requests,
+            "completed": completed,
+            "shed": shed,
+            "failed": failed,
+            "migrations": outcome.migrations,
+            "slo": {
+                "met": met,
+                "missed": missed,
+                "attainment": (met / (met + missed)
+                               if met + missed else 1.0),
             },
-            "latency": latency_summary(latencies) if latencies else None,
-            "throughput_rps": (completed / makespan if makespan > 0
-                               else 0.0),
-            "makespan": makespan,
-            "nodes_provisioned": len(nodes),
-            "nodes_final": sum(1 for n in nodes if n.state != "stopped"),
         },
+        "latency": latency_summary(latencies) if latencies else None,
+        "throughput_rps": (completed / makespan if makespan > 0
+                           else 0.0),
+        "makespan": makespan,
+        "nodes_provisioned": len(nodes),
+        "nodes_final": sum(1 for n in nodes if n.state != "stopped"),
+    }
+    if outcome.tail_snapshot is not None:
+        # Keyed in only on percentile-admission runs, so mean-mode
+        # cluster documents keep their exact pre-tail bytes.
+        fleet["prediction"] = {"tail": outcome.tail_snapshot}
+    return {
+        "fleet": fleet,
         "nodes": [n.as_dict() for n in nodes],
         "scaling": {
             "events": events,
@@ -203,6 +210,11 @@ def validate_cluster_json(doc: object) -> None:
     if final > provisioned:
         _fail("$.report.fleet.nodes_final",
               f"exceeds nodes_provisioned ({final} > {provisioned})")
+    if "prediction" in fleet:
+        prediction = _expect(fleet, "$.report.fleet", "prediction", dict)
+        tail = _expect(prediction, "$.report.fleet.prediction", "tail", dict)
+        validate_tail_block(tail, "$.report.fleet.prediction.tail",
+                            fail=_fail)
 
     nodes = _expect(report, "$.report", "nodes", list)
     if len(nodes) != provisioned:

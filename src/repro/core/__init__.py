@@ -37,8 +37,15 @@ from .models import (
     bidirectional_overlap_time,
 )
 from .registry import MODEL_REGISTRY, register_model, predict
-from .select import TileChoice, candidate_tiles, select_tile
+from .select import TileChoice, candidate_tiles, scale_choice, select_tile
 from .rect import RectTile, RectChoice, predict_dr_rect, select_rect_tile
+from .predcache import PredCacheStats, PredictionCache
+from .tailbank import (
+    GLOBAL_BUCKET,
+    TAIL_PERCENTILES,
+    PercentileBank,
+    tail_bucket,
+)
 
 __all__ = [
     "Loc",
@@ -63,7 +70,14 @@ __all__ = [
     "predict",
     "TileChoice",
     "candidate_tiles",
+    "scale_choice",
     "select_tile",
+    "PredCacheStats",
+    "PredictionCache",
+    "GLOBAL_BUCKET",
+    "TAIL_PERCENTILES",
+    "PercentileBank",
+    "tail_bucket",
     "RectTile",
     "RectChoice",
     "predict_dr_rect",

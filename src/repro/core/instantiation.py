@@ -9,10 +9,11 @@ execution lookup table per (routine, dtype).  Persistence lives in
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple
 
 from ..errors import ModelError
 from .exec_model import ExecLookup
+from .tailbank import PercentileBank
 from .transfer_model import LinkModel
 
 
@@ -23,6 +24,9 @@ class MachineModels:
     machine_name: str
     link: LinkModel
     exec_lookups: Dict[Tuple[str, str], ExecLookup] = field(default_factory=dict)
+    #: Optional residual-quantile bank (tail prediction); fitted by the
+    #: deployment's tail pass and/or refined online while serving.
+    tail: Optional[PercentileBank] = None
 
     def add_exec_lookup(self, lookup: ExecLookup) -> None:
         self.exec_lookups[(lookup.routine, lookup.dtype_prefix)] = lookup
@@ -43,11 +47,16 @@ class MachineModels:
         return (routine, dtype_prefix) in self.exec_lookups
 
     def to_dict(self) -> Dict[str, object]:
-        return {
+        d: Dict[str, object] = {
             "machine_name": self.machine_name,
             "link": self.link.to_dict(),
             "exec_lookups": [lk.to_dict() for lk in self.exec_lookups.values()],
         }
+        # The tail bank serializes only when present, so databases
+        # written before (or without) a tail fit stay byte-identical.
+        if self.tail is not None:
+            d["tail"] = self.tail.to_dict()
+        return d
 
     @classmethod
     def from_dict(cls, d: Dict[str, object]) -> "MachineModels":
@@ -57,4 +66,7 @@ class MachineModels:
         )
         for lk in d.get("exec_lookups", []):  # type: ignore[union-attr]
             models.add_exec_lookup(ExecLookup.from_dict(lk))
+        tail = d.get("tail")
+        if tail is not None:
+            models.tail = PercentileBank.from_dict(tail)  # type: ignore[arg-type]
         return models

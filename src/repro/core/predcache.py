@@ -22,7 +22,7 @@ determinism checks in ``benchmarks/bench_hotpath.py``).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Dict, Tuple
+from typing import TYPE_CHECKING, Dict, Optional, Tuple
 
 from .instantiation import MachineModels
 from .params import CoCoProblem
@@ -84,8 +84,18 @@ class PredictionCache:
         model: str = "auto",
         min_tile: int = 0,
         interpolate: bool = False,
+        percentile: Optional[float] = None,
     ) -> "TileChoice":
-        """Memoized :func:`~repro.core.select.select_tile` result."""
+        """Memoized :func:`~repro.core.select.select_tile` result.
+
+        With ``percentile`` set, the memo returns the tail-inflated
+        choice; the key carries the tail bank's :attr:`version`, so
+        entries invalidate exactly when an online refit moves the
+        quantiles — the cache stays a pure memo in tail mode too.
+        """
+        if percentile is not None:
+            return self._tail_choice(problem, models, model, min_tile,
+                                     interpolate, percentile)
         model_key = resolve_model(model, problem)
         sig = problem.signature()
         key = (self._models_key(models), model_key, sig, min_tile,
@@ -105,6 +115,34 @@ class PredictionCache:
         mk = key[0]
         for t, seconds in choice.per_tile.items():
             self._times[(mk, model_key, sig, t, interpolate)] = seconds
+        return choice
+
+    def _tail_choice(
+        self,
+        problem: CoCoProblem,
+        models: MachineModels,
+        model: str,
+        min_tile: int,
+        interpolate: bool,
+        percentile: float,
+    ) -> "TileChoice":
+        """Memoized tail-inflated choice (scaled from the mean memo)."""
+        bank = models.tail
+        version = bank.version if bank is not None else -1
+        model_key = resolve_model(model, problem)
+        key = (self._models_key(models), model_key, problem.signature(),
+               min_tile, interpolate, float(percentile), version)
+        choice = self._choices.get(key)
+        if choice is not None:
+            self.stats.hits += 1
+            return choice
+        self.stats.misses += 1
+        base = self.choice(problem, models, model=model_key,
+                           min_tile=min_tile, interpolate=interpolate)
+        from .select import scale_choice  # deferred: select imports us
+
+        choice = scale_choice(base, problem, models, percentile)
+        self._choices[key] = choice
         return choice
 
     def predict(

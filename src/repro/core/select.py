@@ -74,6 +74,7 @@ def select_tile(
     min_tile: int = 0,
     interpolate: bool = False,
     cache: Optional[PredictionCache] = None,
+    percentile: Optional[float] = None,
 ) -> TileChoice:
     """Pick the tiling size with the smallest predicted offload time.
 
@@ -84,10 +85,23 @@ def select_tile(
     (bit-identical to scalar evaluation); with a ``cache``, repeated
     selections for the same (models, model, problem signature) return
     the memoized :class:`TileChoice` in O(1).
+
+    With ``percentile`` set, the per-tile sweep is inflated by the
+    machine's fitted residual-ratio quantile
+    (:class:`~repro.core.tailbank.PercentileBank`): ``predicted_time``
+    becomes the predicted *p-th percentile* offload time.  The
+    multiplier is uniform within a problem's bucket, so ``t_best``
+    never moves — only the time scale does.  Machines without a tail
+    bank (or buckets without a fit yet) degrade to the mean prediction.
     """
     if cache is not None:
         return cache.choice(problem, models, model=model,
-                            min_tile=min_tile, interpolate=interpolate)
+                            min_tile=min_tile, interpolate=interpolate,
+                            percentile=percentile)
+    if percentile is not None:
+        base = select_tile(problem, models, model=model, min_tile=min_tile,
+                           interpolate=interpolate)
+        return scale_choice(base, problem, models, percentile)
     model_key = resolve_model(model, problem)
     cands = candidate_tiles(problem, models, min_tile=min_tile)
     times = sweep_predict(model_key, problem, cands, models, interpolate)
@@ -98,4 +112,29 @@ def select_tile(
         predicted_time=per_tile[t_best],
         model=model_key,
         per_tile=per_tile,
+    )
+
+
+def scale_choice(
+    base: TileChoice,
+    problem: CoCoProblem,
+    models: MachineModels,
+    percentile: float,
+) -> TileChoice:
+    """A mean :class:`TileChoice` inflated to the ``percentile``-th
+    predicted offload time via the machine's tail bank.
+
+    Returns ``base`` unchanged when the machine has no bank or the
+    bank's multiplier is 1.0 (no fit yet, or the model over-predicts
+    in this bucket), so mean-path callers pay nothing.
+    """
+    bank = models.tail
+    mult = bank.multiplier(problem, percentile) if bank is not None else 1.0
+    if mult == 1.0:
+        return base
+    return TileChoice(
+        t_best=base.t_best,
+        predicted_time=base.predicted_time * mult,
+        model=base.model,
+        per_tile={t: v * mult for t, v in base.per_tile.items()},
     )

@@ -21,6 +21,7 @@ from .microbench import (
 from .exec_bench import ExecBenchConfig, bench_exec_table
 from .database import save_models, load_models, deploy_or_load
 from .pipeline import DeploymentConfig, deploy
+from .tailfit import fit_tail_bank
 
 __all__ = [
     "zero_intercept_lstsq",
@@ -38,4 +39,5 @@ __all__ = [
     "deploy_or_load",
     "DeploymentConfig",
     "deploy",
+    "fit_tail_bank",
 ]

@@ -43,6 +43,10 @@ class DeploymentConfig:
     routines: Tuple[Tuple[str, object], ...] = DEFAULT_ROUTINES
     seed: int = 99
     workers: int = 1
+    #: Also fit the residual-quantile tail bank (``models.tail``) after
+    #: the mean fits; off by default so existing databases keep their
+    #: exact bytes.
+    tail: bool = False
 
     def __post_init__(self) -> None:
         if not isinstance(self.workers, int) or isinstance(self.workers, bool):
@@ -90,4 +94,11 @@ def deploy(
             parallel=parallel,
         )
         models.add_exec_lookup(lookup)
+    if cfg.tail:
+        from .tailfit import fit_tail_bank
+
+        # Seed offset past the exec-bench range so adding routines
+        # never aliases the tail fit's noise stream.
+        models.tail = fit_tail_bank(machine, models,
+                                    seed=cfg.seed + 1 + len(cfg.routines))
     return models

@@ -1,0 +1,116 @@
+"""Deployment-time tail fit: seed the machine's residual-quantile bank.
+
+The mean models (transfer + exec lookups) come out of the paper's
+deployment pipeline; this optional extra pass measures how the *actual*
+offload time scatters around those predictions and fits the scatter's
+percentiles per problem bucket (:class:`~repro.core.tailbank.
+PercentileBank`).  A serving stack loading the resulting database can
+then run percentile-aware admission from the first request instead of
+waiting for the online refinement window to fill.
+
+Method: for every deployed (routine, dtype) lookup, build a small
+seeded problem grid off the lookup's own benchmarked tile sizes (so a
+candidate tile always exists), predict each problem's offload time with
+the mean model, execute it ``repeats`` times on the simulated machine
+through :class:`~repro.runtime.routines.CoCoPeLiaLibrary` (each run
+draws fresh device noise from the deterministic per-call seed stream),
+and feed every (predicted, measured) pair into the bank.  No wall
+clock, no global RNG: the same seed yields the same bank, so databases
+persist byte-identically.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..core.instantiation import MachineModels
+from ..core.params import (CoCoProblem, Loc, axpy_problem, gemm_problem,
+                           gemv_problem)
+from ..core.select import select_tile
+from ..core.tailbank import PercentileBank
+from ..errors import DeploymentError
+from ..runtime.routines import CoCoPeLiaLibrary
+from ..sim.machine import MachineConfig
+
+#: Multiples of a benchmarked tile used as problem edges: every dim is
+#: >= 2x some candidate tile, so the selection constraint
+#: ``T <= max(D)/1.5`` is always satisfiable.
+_GRID_MULTIPLES = (2, 3)
+
+_PREFIX_DTYPES = {"d": np.float64, "s": np.float32}
+
+
+def _grid_for(routine: str, dtype, tile_sizes) -> List[CoCoProblem]:
+    """A small problem grid spanning the lookup's benchmarked range."""
+    tiles = sorted(tile_sizes)
+    # Smallest and a mid-range tile give two flops decades of spread
+    # without paper-scale simulation cost.
+    anchors = [tiles[0]]
+    if len(tiles) > 1:
+        anchors.append(tiles[len(tiles) // 2])
+    problems: List[CoCoProblem] = []
+    host = Loc.HOST
+    for t in anchors:
+        for mult in _GRID_MULTIPLES:
+            d = t * mult
+            if routine == "gemm":
+                problems.append(gemm_problem(d, d, d, dtype, host, host, host))
+            elif routine == "axpy":
+                problems.append(axpy_problem(d, dtype, host, host))
+            elif routine == "gemv":
+                problems.append(gemv_problem(d, d, dtype, host, host, host))
+    return problems
+
+
+def _measure(lib: CoCoPeLiaLibrary, problem: CoCoProblem) -> float:
+    # The grid keeps every operand at Loc.HOST (the library default),
+    # matching the paper's offload benchmarks.
+    routine = problem.routine.name
+    if routine == "gemm":
+        m, n, k = problem.dims
+        result = lib.gemm(m, n, k, dtype=problem.dtype)
+    elif routine == "axpy":
+        (n,) = problem.dims
+        result = lib.axpy(n, dtype=problem.dtype)
+    elif routine == "gemv":
+        m, n = problem.dims
+        result = lib.gemv(m, n, dtype=problem.dtype)
+    else:  # pragma: no cover - grid never emits other routines
+        raise DeploymentError(f"tail fit cannot run routine {routine!r}")
+    return result.seconds
+
+
+def fit_tail_bank(
+    machine: MachineConfig,
+    models: MachineModels,
+    seed: int = 99,
+    repeats: int = 4,
+    model: str = "auto",
+    bank: Optional[PercentileBank] = None,
+) -> PercentileBank:
+    """Measure the deployed models' residual ratios and fit the bank.
+
+    ``repeats`` measured runs per grid problem; each run's simulated
+    device noise comes from the library's deterministic per-call seed
+    stream, so the fitted quantiles are a pure function of
+    ``(machine, models, seed, repeats)``.
+    """
+    if repeats < 1:
+        raise DeploymentError(f"tail fit needs repeats >= 1: {repeats}")
+    if bank is None:
+        bank = PercentileBank()
+    lib = CoCoPeLiaLibrary(machine, models, model=model, seed=seed)
+    for (routine, prefix) in sorted(models.exec_lookups):
+        dtype = _PREFIX_DTYPES.get(prefix)
+        if dtype is None:
+            continue
+        lookup = models.exec_lookups[(routine, prefix)]
+        for problem in _grid_for(routine, dtype, lookup.tile_sizes):
+            predicted = select_tile(problem, models,
+                                    model=model).predicted_time
+            for _ in range(repeats):
+                bank.observe(problem, predicted, _measure(lib, problem))
+    bank.refit_all()
+    return bank

@@ -49,6 +49,9 @@ class ErrorDistribution:
     p95: float
     min: float
     max: float
+    #: 99th percentile of the signed error — the far tail the serving
+    #: stack's percentile-aware admission keys off.
+    p99: float = 0.0
 
     @classmethod
     def from_samples(cls, label: str, samples: Sequence[float]
@@ -68,7 +71,13 @@ class ErrorDistribution:
             p95=float(np.percentile(arr, 95)),
             min=float(arr.min()),
             max=float(arr.max()),
+            p99=float(np.percentile(arr, 99)),
         )
+
+    def tail_quantiles(self) -> dict:
+        """The p50/p95/p99 trio tail-aware consumers read, keyed the
+        same way the serve/cluster latency summaries are."""
+        return {"p50": self.median, "p95": self.p95, "p99": self.p99}
 
 
 def geomean(values: Sequence[float]) -> float:

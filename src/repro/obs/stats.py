@@ -35,10 +35,16 @@ def percentiles(samples: Sequence[float],
     arr = np.asarray(samples, dtype=np.float64)
     if arr.size == 0:
         raise ReproError("percentiles of an empty sample")
-    for p in ps:
-        if not 0 <= p <= 100:
+    # Coerce the requested percentiles once; reject NaN/inf explicitly.
+    # (The old per-p `0 <= p <= 100` check happened to reject NaN only
+    # because chained comparisons with NaN are False — make the intent
+    # unmissable and the error message name the offending value.)
+    ps = list(ps)
+    coerced = np.asarray(ps, dtype=np.float64)
+    for p, f in zip(ps, coerced):
+        if not np.isfinite(f) or not 0.0 <= f <= 100.0:
             raise ReproError(f"percentile outside [0, 100]: {p}")
-    return [float(v) for v in np.percentile(arr, list(ps))]
+    return [float(v) for v in np.percentile(arr, coerced)]
 
 
 def latency_summary(samples: Sequence[float]) -> dict:

@@ -24,6 +24,7 @@ predicted completion already exceeds their deadline at arrival.
 
 from __future__ import annotations
 
+import math
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
@@ -32,6 +33,7 @@ from ..core.instantiation import MachineModels
 from ..core.params import CoCoProblem, Loc, gemm_problem
 from ..core.predcache import PredictionCache
 from ..core.select import TileChoice, select_tile
+from ..core.tailbank import PercentileBank
 from ..runtime.hybrid import host_gemm_time
 from ..sim.machine import MachineConfig
 from .request import Request, RequestQueue, ServeError
@@ -59,10 +61,19 @@ class GpuState:
     busy: bool = False
     #: LRU weight cache: residency key -> bytes (see _residency_key).
     resident: "OrderedDict[Tuple, int]" = field(default_factory=OrderedDict)
+    #: Running total of the resident map's byte values.  Maintained
+    #: incrementally by ``note_resident`` so eviction is O(evictions)
+    #: instead of re-summing the whole cache per loop iteration.
+    resident_bytes: int = 0
 
     def backlog(self, now: float) -> float:
         running = max(self.running_pred_end - now, 0.0) if self.busy else 0.0
         return running + self.queue.total_predicted()
+
+    def drop_residency(self) -> None:
+        """Forget every cached weight group (drain/fault path)."""
+        self.resident.clear()
+        self.resident_bytes = 0
 
 
 @dataclass
@@ -84,9 +95,13 @@ class Placement:
 
     worker: str                   #: "gpuN" or "host"
     tile: Optional[int]           #: chosen tiling size (None on host)
-    predicted_seconds: float      #: predicted service time
-    predicted_completion: float   #: now + backlog + service
+    predicted_seconds: float      #: predicted service time (mean)
+    predicted_completion: float   #: now + backlog + service (mean)
     locality_hit: bool = False    #: weight group was device-resident
+    #: Tail-inflated service/completion at the dispatcher's admission
+    #: percentile; None outside percentile-aware admission mode.
+    tail_seconds: Optional[float] = None
+    tail_completion: Optional[float] = None
 
 
 def _residency_key(problem: CoCoProblem, group: str) -> Tuple:
@@ -124,9 +139,18 @@ class Dispatcher:
         weight_cache_fraction: float = 0.5,
         prediction_cache: Optional[PredictionCache] = None,
         monitor: Optional[HealthMonitor] = None,
+        admission_percentile: Optional[float] = None,
+        tail_bank: Optional[PercentileBank] = None,
     ) -> None:
         if n_gpus <= 0:
             raise ServeError(f"non-positive GPU count: {n_gpus}")
+        if admission_percentile is not None:
+            f = float(admission_percentile)
+            if math.isnan(f) or not 0.0 < f <= 100.0:
+                raise ServeError(
+                    f"admission percentile outside (0, 100]: "
+                    f"{admission_percentile}")
+            admission_percentile = f
         if policy not in PLACEMENT_POLICIES:
             raise ServeError(
                 f"unknown placement policy {policy!r}; "
@@ -154,6 +178,23 @@ class Dispatcher:
         #: dispatchers scoring the same machine models.
         self.prediction_cache = (prediction_cache if prediction_cache
                                  is not None else PredictionCache())
+        #: Percentile-aware admission (the tail bank).  With a
+        #: percentile set, placement scores and admission decisions use
+        #: the tail-inflated service time; the mean prediction is still
+        #: recorded on every Placement so backlog accounting and reports
+        #: stay comparable with mean-mode runs.
+        self.admission_percentile = admission_percentile
+        if admission_percentile is not None:
+            if tail_bank is None:
+                tail_bank = (models.tail if models.tail is not None
+                             else PercentileBank())
+            tail_bank.ensure_percentile(admission_percentile)
+            self.tail_bank: Optional[PercentileBank] = tail_bank
+        else:
+            self.tail_bank = None
+        #: Requests rejected *only* because of the tail inflation (their
+        #: mean predicted completion still made the deadline).
+        self.tail_rejections = 0
 
     # -- predictions ---------------------------------------------------
 
@@ -191,19 +232,36 @@ class Dispatcher:
         gpu = self.gpus[gpu_index]
         key = _residency_key(request.problem, request.group)
         a = request.problem.operands[0]
-        gpu.resident[key] = a.elements() * request.problem.elem_size
+        size = a.elements() * request.problem.elem_size
+        prev = gpu.resident.get(key)
+        if prev is not None:
+            gpu.resident_bytes -= prev
+        gpu.resident[key] = size
         gpu.resident.move_to_end(key)
-        while (sum(gpu.resident.values()) > self._cache_capacity
+        gpu.resident_bytes += size
+        # Evict LRU-first off the running byte total: O(evictions), not
+        # O(len(resident)) re-sums per loop iteration.  The byte values
+        # are ints, so the running total equals the exact sum and the
+        # eviction order is identical to the re-summing loop's.
+        while (gpu.resident_bytes > self._cache_capacity
                and len(gpu.resident) > 1):
-            gpu.resident.popitem(last=False)
+            _evicted_key, evicted = gpu.resident.popitem(last=False)
+            gpu.resident_bytes -= evicted
 
     # -- placement -----------------------------------------------------
 
     def _health_penalty(self, index: int) -> float:
         return 1.0 if self.monitor is None else self.monitor.penalty(index)
 
+    def _tail_multiplier(self, problem: CoCoProblem) -> float:
+        """The bank's inflation factor at the admission percentile
+        (1.0 outside tail mode or before the bank has a fit)."""
+        if self.admission_percentile is None or self.tail_bank is None:
+            return 1.0
+        return self.tail_bank.multiplier(problem, self.admission_percentile)
+
     def _gpu_candidate(self, gpu: GpuState, request: Request,
-                       now: float) -> Placement:
+                       now: float, mult: float = 1.0) -> Placement:
         hit = self._is_resident(gpu, request)
         problem = (_with_device_a(request.problem) if hit
                    else request.problem)
@@ -212,12 +270,19 @@ class Dispatcher:
         penalty = self._health_penalty(gpu.index)
         if penalty != 1.0:
             service = service * penalty
+        backlog = gpu.backlog(now)
+        tail_seconds = tail_completion = None
+        if self.admission_percentile is not None:
+            tail_seconds = service * mult
+            tail_completion = now + backlog + tail_seconds
         return Placement(
             worker=gpu_worker(gpu.index),
             tile=choice.t_best,
             predicted_seconds=service,
-            predicted_completion=now + gpu.backlog(now) + service,
+            predicted_completion=now + backlog + service,
             locality_hit=hit,
+            tail_seconds=tail_seconds,
+            tail_completion=tail_completion,
         )
 
     def place(self, request: Request, now: float) -> Optional[Placement]:
@@ -230,6 +295,8 @@ class Dispatcher:
         cannot serve the routine — the caller must then shed.
         """
         monitor = self.monitor
+        tail_mode = self.admission_percentile is not None
+        mult = self._tail_multiplier(request.problem) if tail_mode else 1.0
         if self.policy == "round_robin":
             gpu = None
             for _ in range(len(self.gpus)):
@@ -238,12 +305,16 @@ class Dispatcher:
                 if monitor is None or monitor.available(candidate.index):
                     gpu = candidate
                     break
-            best = (self._gpu_candidate(gpu, request, now)
+            best = (self._gpu_candidate(gpu, request, now, mult)
                     if gpu is not None else None)
         else:
             # Equivalent to min() over _gpu_candidate results keyed by
-            # (predicted_completion, worker), but builds only the one
+            # (scored completion, worker), but builds only the one
             # winning Placement (this runs once per GPU per arrival).
+            # In tail mode the score is the tail-inflated completion —
+            # within one request the multiplier is uniform, so the
+            # winner matches the mean argmin, but the score carried to
+            # admission is the percentile one.
             best_fields = best_key = None
             for gpu in self.gpus:
                 if monitor is not None and not monitor.available(gpu.index):
@@ -256,32 +327,47 @@ class Dispatcher:
                 penalty = self._health_penalty(gpu.index)
                 if penalty != 1.0:
                     service = service * penalty
-                key = (now + gpu.backlog(now) + service,
+                backlog = gpu.backlog(now)
+                scored = service * mult if tail_mode else service
+                key = (now + backlog + scored,
                        gpu_worker(gpu.index))
                 if best_key is None or key < best_key:
                     best_key = key
-                    best_fields = (key[1], choice.t_best, service, key[0],
-                                   hit)
+                    best_fields = (key[1], choice.t_best, service, backlog,
+                                   hit, scored, key[0])
             if best_fields is None:
                 best = None
             else:
-                worker, tile, service, completion, hit = best_fields
+                worker, tile, service, backlog, hit, scored, top = best_fields
                 best = Placement(
                     worker=worker, tile=tile, predicted_seconds=service,
-                    predicted_completion=completion, locality_hit=hit,
+                    predicted_completion=(now + backlog + service
+                                          if tail_mode else top),
+                    locality_hit=hit,
+                    tail_seconds=scored if tail_mode else None,
+                    tail_completion=top if tail_mode else None,
                 )
         # The host path competes when offload is enabled, and serves as
         # the placement of last resort when every GPU domain is failed.
         if self.host_offload or best is None:
             host_service = self.predict_host(request.problem)
             if host_service is not None:
-                host_completion = now + self.host.backlog(now) + host_service
-                if (best is None
-                        or host_completion < best.predicted_completion):
+                host_backlog = self.host.backlog(now)
+                host_completion = now + host_backlog + host_service
+                host_scored = (now + host_backlog + host_service * mult
+                               if tail_mode else host_completion)
+                best_scored = (best.tail_completion
+                               if best is not None and tail_mode
+                               else (best.predicted_completion
+                                     if best is not None else None))
+                if best is None or host_scored < best_scored:
                     return Placement(
                         worker=HOST_WORKER, tile=None,
                         predicted_seconds=host_service,
                         predicted_completion=host_completion,
+                        tail_seconds=(host_service * mult if tail_mode
+                                      else None),
+                        tail_completion=(host_scored if tail_mode else None),
                     )
         return best
 
@@ -292,15 +378,30 @@ class Dispatcher:
 
         A request whose *admission-time* predicted completion already
         exceeds its deadline cannot meet its SLO; serving it anyway
-        only delays requests that still can.
+        only delays requests that still can.  With percentile-aware
+        admission, the tail-inflated completion is judged instead: a
+        request whose p99 completion blows the deadline is rejected
+        even when the mean prediction squeaks under.
         """
         if self.admission == "none" or request.deadline is None:
             return "accept"
-        if placement.predicted_completion <= request.deadline:
+        completion = (placement.tail_completion
+                      if placement.tail_completion is not None
+                      else placement.predicted_completion)
+        if completion <= request.deadline:
             return "accept"
+        if (placement.tail_completion is not None
+                and placement.predicted_completion <= request.deadline):
+            # Mean-based admission would have accepted: this rejection
+            # is attributable to the tail inflation alone.
+            self.tail_rejections += 1
         if self.admission == "shed":
             return "shed"
         request.downgraded = True
+        # Keep the original SLO around: a downgraded request no longer
+        # *schedules* by its deadline (EDF sees None), but the report
+        # still judges whether the SLO it arrived with was met.
+        request.original_deadline = request.deadline
         request.deadline = None
         request.priority = min(request.priority, 0)
         return "downgrade"

@@ -10,11 +10,13 @@ Shape (validated by :func:`validate_serve_json`):
       "report": {
         "requests": {total, completed, shed, failed, downgraded,
                      fallbacks, batched, slo: {with_deadline, met,
-                     missed, attainment}},
+                     missed, attainment,
+                     downgraded: {with_deadline, met, missed}?}},
         "throughput_rps": float, "makespan": float,
         "latency": {n, mean, min, max, p50, p95, p99},
         "wait": {...same...},
-        "prediction": {n, mean_abs_pct_error, p95_abs_pct_error} | null,
+        "prediction": {n, mean_abs_pct_error, p95_abs_pct_error,
+                       tail: {...}?} | null,
         "workers": [{worker, busy_seconds, utilization, batches,
                      requests, h2d_bytes, d2h_bytes, kernels,
                      locality_hits}, ...],   # gpus then host
@@ -27,6 +29,14 @@ The optional ``resilience`` block appears only when the run carried an
 active fault plan or the resilience machinery actually did something
 (drains, hedges, breaker trips) — fault-free documents stay
 byte-identical to pre-resilience servers.
+
+SLO accounting judges each request against the deadline it *arrived*
+with (:attr:`Request.slo_deadline`): a downgrade clears the scheduling
+deadline but not the SLO, so downgraded requests count toward
+``with_deadline`` and get their own ``slo.downgraded`` sub-block (only
+when any exist — runs without downgrades keep their exact bytes).
+``prediction.tail`` (percentile-admission runs only) carries the tail
+bank's fitted quantiles and rejection counters.
 
 Documents are emitted with ``sort_keys=True`` and a fixed float
 representation (Python's repr), so the same seed produces the same
@@ -67,9 +77,14 @@ def serve_report(outcome: ServeOutcome) -> Dict[str, object]:
     done = outcome.done_requests()
     makespan = outcome.end_time
 
-    with_deadline = [r for r in requests if r.deadline is not None]
+    # Judged against slo_deadline, not the live deadline: a downgrade
+    # clears `deadline` for scheduling, but the SLO the request arrived
+    # with still counts (the pre-fix accounting silently dropped every
+    # downgraded request from these stats).
+    with_deadline = [r for r in requests if r.slo_deadline is not None]
     met = sum(1 for r in with_deadline if r.slo_met)
     missed = sum(1 for r in with_deadline if r.slo_met is False)
+    downgraded_dl = [r for r in with_deadline if r.downgraded]
 
     latencies = [r.latency for r in done if r.latency is not None]
     waits = [r.wait for r in done if r.wait is not None]
@@ -87,6 +102,12 @@ def serve_report(outcome: ServeOutcome) -> Dict[str, object]:
             "mean_abs_pct_error": sum(errors) / len(errors),
             "p95_abs_pct_error": percentiles(errors, (95,))[0],
         }
+    if outcome.tail is not None:
+        # Percentile-admission runs surface the bank even when nothing
+        # completed (all-shed); n=0 then marks the error stats absent.
+        if prediction is None:
+            prediction = {"n": 0}
+        prediction["tail"] = outcome.tail
 
     workers: List[Dict[str, object]] = [
         _worker_dict(s, makespan) for s in outcome.gpu_stats
@@ -128,6 +149,16 @@ def serve_report(outcome: ServeOutcome) -> Dict[str, object]:
         "prediction": prediction,
         "workers": workers,
     }
+    if downgraded_dl:
+        # Dedicated bucket so operators can see how the *downgraded*
+        # population fared against the SLOs it arrived with.  Keyed in
+        # only when downgrades happened: runs without them (and every
+        # pre-fix document) keep their exact bytes.
+        body["requests"]["slo"]["downgraded"] = {  # type: ignore[index]
+            "with_deadline": len(downgraded_dl),
+            "met": sum(1 for r in downgraded_dl if r.slo_met),
+            "missed": sum(1 for r in downgraded_dl if r.slo_met is False),
+        }
     resilience = _resilience_block(outcome)
     if resilience is not None:
         body["resilience"] = resilience
@@ -215,6 +246,64 @@ def _expect_summary(parent: dict, path: str, key: str) -> None:
         _expect_number(summary, spath, field)
 
 
+def validate_tail_block(tail: object, path: str, fail=None) -> None:
+    """Validate a ``prediction.tail`` block (shared with the cluster
+    report, which embeds the same bank snapshot shape; ``fail``
+    overrides the error prefix so each document names itself).
+
+    Self-contained on purpose: every check routes through ``fail``, so
+    a cluster document's tail errors say "cluster", not "serve"."""
+    fail = fail if fail is not None else _fail
+
+    def expect(parent, key, types):
+        if key not in parent:
+            fail(f"{path}.{key}", "missing required field")
+        value = parent[key]
+        if isinstance(value, bool) or not isinstance(value, types):
+            names = getattr(types, "__name__", None) or "/".join(
+                t.__name__ for t in types)
+            fail(f"{path}.{key}",
+                 f"expected {names}, got {type(value).__name__}")
+        return value
+
+    if not isinstance(tail, dict):
+        fail(path, f"expected an object, got {type(tail).__name__}")
+    percentile = expect(tail, "percentile", (int, float))
+    if not 0.0 < percentile <= 100.0:
+        fail(f"{path}.percentile",
+             f"must be in (0, 100], got {percentile}")
+    ps = expect(tail, "percentiles", list)
+    if not ps:
+        fail(f"{path}.percentiles", "must list at least one percentile")
+    for key in ("observations", "refits", "tail_rejections"):
+        value = expect(tail, key, int)
+        if value < 0:
+            fail(f"{path}.{key}", f"must be >= 0, got {value}")
+    buckets = expect(tail, "buckets", list)
+    for i, bucket in enumerate(buckets):
+        bpath = f"{path}.buckets[{i}]"
+        if not isinstance(bucket, dict):
+            fail(bpath, "expected an object")
+        for key, types in (("routine", str), ("dtype", str),
+                           ("flops_decade", int), ("n", int),
+                           ("quantiles", dict)):
+            if key not in bucket:
+                fail(f"{bpath}.{key}", "missing required field")
+            value = bucket[key]
+            if isinstance(value, bool) or not isinstance(value, types):
+                fail(f"{bpath}.{key}",
+                     f"expected {types.__name__}, "
+                     f"got {type(value).__name__}")
+        if bucket["n"] < 0:
+            fail(f"{bpath}.n", f"must be >= 0, got {bucket['n']}")
+        for key, value in bucket["quantiles"].items():
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                fail(f"{bpath}.quantiles.{key}", "expected a number")
+            if value <= 0:
+                fail(f"{bpath}.quantiles.{key}",
+                     f"ratio quantile must be > 0, got {value}")
+
+
 def validate_serve_json(doc: object) -> None:
     """Check a serve document against schema v1; raise on mismatch.
 
@@ -245,6 +334,17 @@ def validate_serve_json(doc: object) -> None:
               f"must be in [0, 1], got {attainment}")
     if slo["met"] + slo["missed"] > slo["with_deadline"]:
         _fail("$.report.requests.slo", "met + missed exceeds with_deadline")
+    if "downgraded" in slo:
+        dpath = "$.report.requests.slo.downgraded"
+        downgraded = _expect(slo, "$.report.requests.slo", "downgraded", dict)
+        for key in ("with_deadline", "met", "missed"):
+            value = _expect(downgraded, dpath, key, int)
+            if value < 0:
+                _fail(f"{dpath}.{key}", f"must be >= 0, got {value}")
+        if downgraded["met"] + downgraded["missed"] > downgraded["with_deadline"]:
+            _fail(dpath, "met + missed exceeds with_deadline")
+        if downgraded["with_deadline"] > slo["with_deadline"]:
+            _fail(dpath, "downgraded with_deadline exceeds the slo total")
 
     for key in ("throughput_rps", "makespan"):
         value = _expect_number(report, "$.report", key)
@@ -255,9 +355,14 @@ def validate_serve_json(doc: object) -> None:
     prediction = _expect(report, "$.report", "prediction", dict,
                          allow_none=True)
     if prediction is not None:
-        _expect(prediction, "$.report.prediction", "n", int)
-        for key in ("mean_abs_pct_error", "p95_abs_pct_error"):
-            _expect_number(prediction, "$.report.prediction", key)
+        n = _expect(prediction, "$.report.prediction", "n", int)
+        if n > 0:
+            for key in ("mean_abs_pct_error", "p95_abs_pct_error"):
+                _expect_number(prediction, "$.report.prediction", key)
+        elif n < 0:
+            _fail("$.report.prediction.n", f"must be >= 0, got {n}")
+        if "tail" in prediction:
+            validate_tail_block(prediction["tail"], "$.report.prediction.tail")
 
     workers = _expect(report, "$.report", "workers", list)
     if not workers:

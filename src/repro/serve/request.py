@@ -69,6 +69,12 @@ class Request:
     #: worker and of the absolute completion time (incl. backlog).
     predicted_seconds: Optional[float] = None
     predicted_completion: Optional[float] = None
+    #: Tail-inflated service prediction at the admission percentile
+    #: (None outside percentile-aware admission mode).
+    predicted_tail_seconds: Optional[float] = None
+    #: The deadline this request *arrived* with, preserved when a
+    #: downgrade clears ``deadline`` so SLO accounting stays honest.
+    original_deadline: Optional[float] = None
     #: Achieved service time of the (possibly batched) execution.
     service_seconds: Optional[float] = None
     batch_id: Optional[int] = None
@@ -115,12 +121,22 @@ class Request:
         return self.dispatch_t - self.arrival
 
     @property
+    def slo_deadline(self) -> Optional[float]:
+        """The deadline this request is *judged* against: the live one,
+        or — for downgraded requests, whose scheduling deadline was
+        cleared at admission — the one it arrived with."""
+        if self.deadline is not None:
+            return self.deadline
+        return self.original_deadline
+
+    @property
     def slo_met(self) -> Optional[bool]:
-        """Did the request finish by its deadline?  None = no deadline
-        or not finished."""
-        if self.deadline is None or self.completion_t is None:
+        """Did the request finish by its (original) deadline?  None =
+        never had a deadline, or not finished."""
+        deadline = self.slo_deadline
+        if deadline is None or self.completion_t is None:
             return None
-        return self.completion_t <= self.deadline
+        return self.completion_t <= deadline
 
     def queue_key(self) -> Tuple[float, float, float, int]:
         """EDF-within-priority ordering key (smaller = served first)."""

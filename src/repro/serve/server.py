@@ -46,6 +46,7 @@ from typing import Dict, List, Optional, Tuple
 from ..backend.cublas import CublasContext
 from ..core.instantiation import MachineModels
 from ..core.params import CoCoProblem
+from ..core.tailbank import PercentileBank
 from ..runtime.routines import _host_operand
 from ..runtime.scheduler import AxpyTileScheduler, GemmTileScheduler
 from ..sim.device import GpuDevice
@@ -115,6 +116,11 @@ class ServerConfig:
     #: Hedge when remaining deadline slack drops below
     #: ``hedge_slack * predicted`` at dispatch.
     hedge_slack: float = 1.0
+    #: Percentile-aware admission: judge shed/downgrade against the
+    #: tail-inflated predicted completion at this percentile (e.g. 99.0)
+    #: instead of the mean.  None (default) keeps mean-based admission
+    #: and the exact pre-tail document bytes.
+    admission_percentile: Optional[float] = None
 
     # Fields that must be positive, finite numbers.  NaN would sail
     # through ordinary "<=" comparisons (NaN <= x is False), so the
@@ -156,6 +162,14 @@ class ServerConfig:
             raise ServeError(
                 f"breaker_faults must be a positive int: "
                 f"{self.breaker_faults}")
+        if self.admission_percentile is not None:
+            p = self.admission_percentile
+            if isinstance(p, bool) or not isinstance(p, (int, float)):
+                raise ServeError(
+                    f"admission_percentile must be a number, got {p!r}")
+            if math.isnan(p) or not 0.0 < p <= 100.0:
+                raise ServeError(
+                    f"admission_percentile outside (0, 100]: {p}")
 
 
 @dataclass
@@ -199,6 +213,9 @@ class ServeOutcome:
     #: transition log (both JSON-ready; chaos reports mine these).
     health: List[dict] = field(default_factory=list)
     health_transitions: List[dict] = field(default_factory=list)
+    #: Tail-bank snapshot + admission counters (percentile mode only;
+    #: None keeps mean-mode reports byte-identical).
+    tail: Optional[dict] = None
 
     def done_requests(self) -> List[Request]:
         return [r for r in self.requests if r.state is RequestState.DONE]
@@ -240,11 +257,23 @@ class BlasServer:
 
     def __init__(self, machine: MachineConfig, models: MachineModels,
                  config: Optional[ServerConfig] = None,
-                 metrics=None, prediction_cache=None) -> None:
+                 metrics=None, prediction_cache=None,
+                 tail_bank=None) -> None:
         self.machine = machine
         self.models = models
         self.config = config if config is not None else ServerConfig()
         self.metrics = metrics
+        #: Residual-quantile bank for percentile-aware admission.  In
+        #: tail mode the precedence is: explicit bank (cluster-shared)
+        #: > the machine's deployed fit (models.tail) > a fresh bank
+        #: that starts at mean behavior and refines online.
+        if self.config.admission_percentile is not None:
+            if tail_bank is None:
+                tail_bank = (models.tail if models.tail is not None
+                             else PercentileBank())
+            self.tail_bank = tail_bank
+        else:
+            self.tail_bank = None
         self.sim = Simulator(mode=self.config.sim_mode,
                              scheduler=self.config.scheduler)
         self.monitor = HealthMonitor(
@@ -262,6 +291,8 @@ class BlasServer:
             weight_cache_fraction=self.config.weight_cache_fraction,
             prediction_cache=prediction_cache,
             monitor=self.monitor,
+            admission_percentile=self.config.admission_percentile,
+            tail_bank=self.tail_bank,
         )
         #: Host CPU service noise; its own substream so the host worker
         #: never perturbs the GPU devices' draws.
@@ -335,7 +366,18 @@ class BlasServer:
             resilience_stats=self._stats_res,
             health=self.monitor.snapshot(),
             health_transitions=list(self.monitor.transitions),
+            tail=self._tail_snapshot(),
         )
+
+    def _tail_snapshot(self) -> Optional[dict]:
+        """Bank state + admission counters for the outcome (tail mode
+        only; None keeps mean-mode documents byte-identical)."""
+        if self.tail_bank is None:
+            return None
+        snap = self.tail_bank.snapshot()
+        snap["percentile"] = self.config.admission_percentile
+        snap["tail_rejections"] = self.dispatcher.tail_rejections
+        return snap
 
     # -- incremental serving (cluster-node mode) ------------------------
     #
@@ -509,6 +551,7 @@ class BlasServer:
             resilience_stats=self._stats_res,
             health=self.monitor.snapshot(),
             health_transitions=list(self.monitor.transitions),
+            tail=self._tail_snapshot(),
         )
 
     # -- fault-domain lifecycle ----------------------------------------
@@ -616,6 +659,12 @@ class BlasServer:
         if decision == "shed":
             request.state = RequestState.SHED
             self._count("serve.shed")
+            if (placement.tail_completion is not None
+                    and request.deadline is not None
+                    and placement.predicted_completion <= request.deadline):
+                # Shed on the tail prediction alone — the mean-based
+                # path would have admitted this request.
+                self._count("serve.tail_sheds")
             self._terminal(request)
             return
         if decision == "downgrade":
@@ -625,6 +674,7 @@ class BlasServer:
         request.worker = placement.worker
         request.predicted_seconds = placement.predicted_seconds
         request.predicted_completion = placement.predicted_completion
+        request.predicted_tail_seconds = placement.tail_seconds
         if self._retain:
             self._placements[request.req_id] = placement
         self.dispatcher.state_for(placement.worker).queue.push(request)
@@ -938,7 +988,7 @@ class BlasServer:
                              if m.state is RequestState.RUNNING)
         while state.queue:
             moved.append(state.queue.pop())
-        state.resident.clear()
+        state.drop_residency()
         state.busy = False
         state.running_pred_end = 0.0
         if moved:
@@ -983,6 +1033,7 @@ class BlasServer:
             request.fallback = True
         request.predicted_seconds = placement.predicted_seconds
         request.predicted_completion = placement.predicted_completion
+        request.predicted_tail_seconds = placement.tail_seconds
         if self._retain:
             self._placements[request.req_id] = placement
         self.dispatcher.state_for(placement.worker).queue.push(request)
@@ -1041,6 +1092,13 @@ class BlasServer:
             predicted_latency = request.predicted_completion - request.arrival
             self._observe("serve.latency_prediction_error",
                           abs(predicted_latency - latency) / latency)
+            if self.tail_bank is not None and predicted_latency > 0:
+                # Online refinement: fold the observed end-to-end
+                # latency back into the residual bank.  The bank's
+                # count-based refit schedule keeps this deterministic —
+                # completion order is a pure function of the seed.
+                self.tail_bank.observe(request.problem, predicted_latency,
+                                       latency)
         if request.slo_met is False:
             self._count("serve.slo_misses")
         self._terminal(request)

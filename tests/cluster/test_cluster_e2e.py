@@ -165,3 +165,68 @@ class TestCoordinatorContract:
         coord = make_coordinator(tb1, models_tb1, nodes=3)
         seeds = {n.config.seed for n in coord.nodes}
         assert len(seeds) == 3
+
+
+class TestTailAdmission:
+    """Percentile-aware per-node admission with a fleet-shared bank."""
+
+    TAIL_SPEC = ClusterWorkloadSpec(n_requests=240, rate=4000.0, seed=7,
+                                    deadline_fraction=0.9, slack_lo=0.5,
+                                    slack_hi=3.0, burst_size=16)
+
+    def _run(self, tb1, models_tb1, percentile):
+        config = ClusterConfig(
+            nodes=2, gpus_per_node=2, autoscale=False,
+            autoscaler=AutoscalerConfig(min_nodes=2, max_nodes=4))
+        coord = ClusterCoordinator(
+            tb1, models_tb1, config,
+            ServerConfig(seed=7, admission_percentile=percentile))
+        return coord.run(iter_cluster_workload(self.TAIL_SPEC))
+
+    @pytest.fixture(scope="class")
+    def mean_outcome(self, tb1, models_tb1):
+        return self._run(tb1, models_tb1, None)
+
+    @pytest.fixture(scope="class")
+    def tail_outcome(self, tb1, models_tb1):
+        return self._run(tb1, models_tb1, 99.0)
+
+    def test_attainment_no_worse_than_mean(self, mean_outcome, tail_outcome):
+        def attainment(outcome):
+            met = sum(n.slo_met for n in outcome.nodes)
+            missed = sum(n.slo_missed for n in outcome.nodes)
+            return met, missed, met / (met + missed)
+
+        m_met, m_missed, m_att = attainment(mean_outcome)
+        t_met, t_missed, t_att = attainment(tail_outcome)
+        assert t_att > m_att
+        assert t_missed < m_missed
+        assert (m_met, m_missed) == (77, 4)
+        assert (t_met, t_missed) == (78, 1)
+
+    def test_fleet_document_carries_tail_block(self, tail_outcome):
+        doc = cluster_document(tail_outcome, context={})
+        tail = doc["report"]["fleet"]["prediction"]["tail"]
+        assert tail["percentile"] == 99.0
+        assert tail["observations"] > 0
+        # The shared bank saw completions from every node.
+        assert tail["observations"] == sum(
+            len(n.latencies) for n in tail_outcome.nodes)
+        validate_cluster_json(doc)
+
+    def test_mean_document_has_no_prediction_key(self, mean_outcome):
+        doc = cluster_document(mean_outcome, context={})
+        assert "prediction" not in doc["report"]["fleet"]
+        assert '"tail"' not in dump_cluster_document(doc)
+
+    def test_tail_run_is_byte_deterministic(self, tb1, models_tb1,
+                                            tail_outcome):
+        again = self._run(tb1, models_tb1, 99.0)
+        first = dump_cluster_document(cluster_document(tail_outcome,
+                                                       context={}))
+        second = dump_cluster_document(cluster_document(again, context={}))
+        assert first == second
+
+    def test_conservation_holds_in_tail_mode(self, tail_outcome):
+        assert tail_outcome.conservation_ok
+        assert tail_outcome.accounted == self.TAIL_SPEC.n_requests

@@ -168,3 +168,52 @@ class TestRejections:
             d["report"]["conservation"]["ok"] = False
             d["report"]["conservation"]["violations"].append(42)
         self.check(mutate, "expected a string")
+
+
+def _tail_block():
+    return {
+        "percentile": 99.0,
+        "percentiles": [50.0, 95.0, 99.0],
+        "observations": 40, "refits": 1, "tail_rejections": 2,
+        "buckets": [{"routine": "gemm", "dtype": "d", "flops_decade": 10,
+                     "n": 40,
+                     "quantiles": {"p50": 1.01, "p95": 1.1, "p99": 1.2}}],
+    }
+
+
+class TestFleetTailBlock:
+    """The optional ``fleet.prediction.tail`` key (percentile-admission
+    runs): absent documents stay valid, present ones are validated with
+    cluster-flavoured JSON paths."""
+
+    def test_absent_is_valid(self):
+        doc = _doc()
+        assert "prediction" not in doc["report"]["fleet"]
+        validate_cluster_json(doc)
+
+    def test_present_and_valid(self):
+        doc = _doc()
+        doc["report"]["fleet"]["prediction"] = {"tail": _tail_block()}
+        validate_cluster_json(doc)
+
+    def check(self, mutate, match):
+        doc = _doc()
+        doc["report"]["fleet"]["prediction"] = {"tail": _tail_block()}
+        mutate(doc["report"]["fleet"]["prediction"]["tail"])
+        with pytest.raises(ReproError, match=match):
+            validate_cluster_json(doc)
+
+    def test_error_paths_are_cluster_flavoured(self):
+        self.check(lambda t: t.update(percentile=200.0),
+                   r"invalid cluster document at "
+                   r"\$\.report\.fleet\.prediction\.tail\.percentile")
+
+    def test_rejects_negative_observation_count(self):
+        self.check(lambda t: t.update(observations=-1), "observations")
+
+    def test_rejects_non_positive_quantile(self):
+        self.check(lambda t: t["buckets"][0]["quantiles"].update(p95=-1.0),
+                   "p95")
+
+    def test_rejects_malformed_bucket(self):
+        self.check(lambda t: t["buckets"][0].pop("routine"), "routine")

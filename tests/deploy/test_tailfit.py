@@ -1,0 +1,71 @@
+"""Deployment-time tail fit: grid coverage, determinism, persistence."""
+
+import dataclasses
+import os
+
+import pytest
+
+from repro.deploy import (DeploymentConfig, deploy, fit_tail_bank,
+                          load_models, save_models)
+from repro.errors import DeploymentError
+
+
+@pytest.fixture(scope="module")
+def tail_bank(tb2, models_tb2):
+    return fit_tail_bank(tb2, models_tb2, seed=5)
+
+
+class TestFit:
+    def test_every_deployed_lookup_is_covered(self, tail_bank, models_tb2):
+        routines = {b["routine"] for b in tail_bank.snapshot()["buckets"]}
+        assert routines >= {r for r, _ in models_tb2.exec_lookups} | {"*"}
+
+    def test_observations_and_fits_accumulate(self, tail_bank):
+        snap = tail_bank.snapshot()
+        assert snap["observations"] > 0
+        assert snap["refits"] > 0
+        for bucket in snap["buckets"]:
+            for value in bucket["quantiles"].values():
+                assert value > 0
+
+    def test_same_seed_same_bank(self, tb2, models_tb2, tail_bank):
+        again = fit_tail_bank(tb2, models_tb2, seed=5)
+        assert again.to_dict() == tail_bank.to_dict()
+
+    def test_seed_moves_the_quantiles(self, tb2, models_tb2, tail_bank):
+        other = fit_tail_bank(tb2, models_tb2, seed=6)
+        assert other.to_dict() != tail_bank.to_dict()
+
+    def test_repeats_validated(self, tb2, models_tb2):
+        with pytest.raises(DeploymentError):
+            fit_tail_bank(tb2, models_tb2, repeats=0)
+
+
+class TestPipelineIntegration:
+    def test_mean_deploy_has_no_tail(self, models_tb2):
+        assert models_tb2.tail is None
+
+    def test_tail_flag_fits_the_bank(self, tb2):
+        cfg = dataclasses.replace(DeploymentConfig.quick(), tail=True)
+        models = deploy(tb2, cfg)
+        assert models.tail is not None
+        assert models.tail.snapshot()["observations"] > 0
+
+    def test_database_round_trips_tail(self, tb2, tmp_path):
+        cfg = dataclasses.replace(DeploymentConfig.quick(), tail=True)
+        models = deploy(tb2, cfg)
+        path = os.path.join(tmp_path, "models.json")
+        save_models(models, path)
+        back = load_models(path)
+        assert back.tail is not None
+        assert back.tail.to_dict() == models.tail.to_dict()
+
+    def test_mean_database_has_no_tail_key(self, models_tb2, tmp_path):
+        import json
+
+        path = os.path.join(tmp_path, "models.json")
+        save_models(models_tb2, path)
+        with open(path) as fh:
+            doc = json.load(fh)
+        assert "tail" not in doc
+        assert load_models(path).tail is None

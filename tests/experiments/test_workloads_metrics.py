@@ -111,6 +111,14 @@ class TestMetrics:
         assert dist.q1 == -5.0 and dist.q3 == 5.0
         assert dist.n == 5
 
+    def test_error_distribution_tail_quantiles(self):
+        samples = [float(v) for v in range(1, 101)]
+        dist = metrics.ErrorDistribution.from_samples("x", samples)
+        assert dist.p95 == pytest.approx(95.05)
+        assert dist.p99 == pytest.approx(99.01)
+        assert dist.tail_quantiles() == {
+            "p50": dist.median, "p95": dist.p95, "p99": dist.p99}
+
     def test_mean_abs_does_not_cancel_mixed_signs(self):
         """Regression: mean_abs was |mean(e)|, which let over- and
         under-predictions cancel; it must be mean(|e|)."""

@@ -35,9 +35,38 @@ class TestPercentiles:
     def test_out_of_range_percentile_rejected(self):
         with pytest.raises(ReproError, match="outside"):
             percentiles([1.0], (101,))
+        with pytest.raises(ReproError, match="-1"):
+            percentiles([1.0], (-1,))
+
+    def test_nan_percentile_rejected_explicitly(self):
+        # Regression: the old per-p `0 <= p <= 100` check rejected NaN
+        # only as a side effect of NaN comparisons being False; the
+        # explicit isfinite check must keep rejecting it and name the
+        # offending value.
+        with pytest.raises(ReproError, match="nan"):
+            percentiles([1.0], (float("nan"),))
+
+    def test_infinite_percentile_rejected(self):
+        with pytest.raises(ReproError, match="inf"):
+            percentiles([1.0], (float("inf"),))
+        with pytest.raises(ReproError, match="inf"):
+            percentiles([1.0], (float("-inf"),))
+
+    def test_boundary_percentiles_accepted(self):
+        assert percentiles([1.0, 2.0, 3.0], (0, 100)) == [1.0, 3.0]
+
+    def test_empty_percentile_list_is_empty_result(self):
+        assert percentiles([1.0, 2.0], ()) == []
+
+    def test_mixed_valid_invalid_names_the_bad_one(self):
+        with pytest.raises(ReproError, match="101"):
+            percentiles([1.0], (50, 101, 99))
 
     def test_accepts_numpy_arrays(self):
         assert percentiles(np.array([1.0, 2.0, 3.0]), (50,)) == [2.0]
+
+    def test_accepts_generator_of_percentiles(self):
+        assert percentiles([1.0, 2.0, 3.0], iter((50,))) == [2.0]
 
 
 class TestLatencySummary:

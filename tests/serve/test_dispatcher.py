@@ -136,6 +136,49 @@ class TestLocality:
         assert len(resident) == 1  # g0 evicted, floor of one entry kept
         assert next(iter(resident))[0] == "g1"
 
+    def _sized(self, req_id, group, edge):
+        return req(req_id, gemm_problem(edge, edge, edge, np.float64),
+                   group=group)
+
+    def test_resident_bytes_tracks_exact_sum(self, tb2, models_tb2):
+        """The running byte total is maintained incrementally (the old
+        code re-summed the whole dict per eviction iteration, O(n^2));
+        it must equal the exact sum at every step — including re-notes
+        of an already-resident key, which must not double-count."""
+        d = Dispatcher(tb2, models_tb2, n_gpus=1, host_offload=False)
+        for i, (group, edge) in enumerate(
+                [("g0", 512), ("g1", 1024), ("g2", 768),
+                 ("g0", 512), ("g1", 1024)]):
+            d.note_resident(0, self._sized(i, group, edge))
+            gpu = d.gpus[0]
+            assert gpu.resident_bytes == sum(gpu.resident.values())
+
+    def test_eviction_order_is_lru_pinned(self, tb2, models_tb2):
+        """Capacity for exactly two 1024-cubes: noting g0, g1, then g2
+        must evict g0 (the least recently used), and re-touching g1
+        first must instead evict g2 next."""
+        weights = 1024 * 1024 * 8  # one f64 A operand
+        cap = 2 * weights / tb2.gpu_mem_bytes
+        d = Dispatcher(tb2, models_tb2, n_gpus=1, host_offload=False,
+                       weight_cache_fraction=cap)
+        d.note_resident(0, self._sized(0, "g0", 1024))
+        d.note_resident(0, self._sized(1, "g1", 1024))
+        d.note_resident(0, self._sized(2, "g2", 1024))
+        groups = [key[0] for key in d.gpus[0].resident]
+        assert groups == ["g1", "g2"]
+        d.note_resident(0, self._sized(3, "g1", 1024))  # touch g1
+        d.note_resident(0, self._sized(4, "g3", 1024))
+        groups = [key[0] for key in d.gpus[0].resident]
+        assert groups == ["g1", "g3"]
+
+    def test_drop_residency_zeroes_bytes(self, tb2, models_tb2):
+        d = Dispatcher(tb2, models_tb2, n_gpus=1, host_offload=False)
+        d.note_resident(0, self._sized(0, "g0", 1024))
+        assert d.gpus[0].resident_bytes > 0
+        d.gpus[0].drop_residency()
+        assert d.gpus[0].resident == {} or len(d.gpus[0].resident) == 0
+        assert d.gpus[0].resident_bytes == 0
+
 
 class TestAdmission:
     def _placed(self, dispatcher, deadline):

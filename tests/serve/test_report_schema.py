@@ -195,3 +195,107 @@ class TestResilienceBlock:
             d["report"]["resilience"]["transitions"][0]["t"] = -0.5
         with pytest.raises(ReproError, match=r"transitions\[0\]\.t"):
             validate_serve_json(self._mutated(faulted_document, mutate))
+
+
+class TestDegenerateRuns:
+    """Builder + validator on runs with nothing (or one thing) in them:
+    all-shed (no latency sample at all), all-downgraded, single
+    request.  Every document must validate as built."""
+
+    def _run(self, tb2, models_tb2, admission, n=12, percentile=None):
+        # deadline_fraction=1 with near-zero slack: every request gets
+        # a deadline no placement can meet.
+        spec = WorkloadSpec(n_requests=n, rate=2000.0, seed=3,
+                            deadline_fraction=1.0,
+                            slack_lo=1e-6, slack_hi=2e-6)
+        config = ServerConfig(n_gpus=2, admission=admission,
+                              admission_percentile=percentile, seed=3)
+        server = BlasServer(tb2, models_tb2, config)
+        return server.serve(generate_workload(spec))
+
+    def test_all_shed_has_null_latency(self, tb2, models_tb2):
+        doc = serve_document(self._run(tb2, models_tb2, "shed"))
+        report = doc["report"]
+        assert report["requests"]["shed"] == report["requests"]["total"]
+        assert report["requests"]["completed"] == 0
+        assert report["latency"] is None
+        assert report["requests"]["slo"]["attainment"] == 0.0
+        validate_serve_json(doc)
+
+    def test_all_downgraded_stays_in_slo(self, tb2, models_tb2):
+        doc = serve_document(self._run(tb2, models_tb2, "downgrade"))
+        counts = doc["report"]["requests"]
+        assert counts["downgraded"] == counts["total"]
+        slo = counts["slo"]
+        assert slo["with_deadline"] == counts["total"]
+        assert slo["downgraded"]["with_deadline"] == counts["total"]
+        assert (slo["downgraded"]["met"] + slo["downgraded"]["missed"]
+                == counts["total"])
+        validate_serve_json(doc)
+
+    def test_single_request(self, tb2, models_tb2):
+        spec = WorkloadSpec(n_requests=1, rate=100.0, seed=3)
+        server = BlasServer(tb2, models_tb2, ServerConfig(n_gpus=1, seed=3))
+        doc = serve_document(server.serve(generate_workload(spec)))
+        report = doc["report"]
+        assert report["requests"]["total"] == 1
+        assert report["latency"]["n"] == 1
+        assert report["latency"]["p50"] == report["latency"]["p99"]
+        validate_serve_json(doc)
+
+    def test_all_shed_tail_mode_validates(self, tb2, models_tb2):
+        """Zero completions = zero bank observations; the tail block
+        must still emit and validate."""
+        doc = serve_document(self._run(tb2, models_tb2, "shed",
+                                       percentile=99.0))
+        tail = doc["report"]["prediction"]["tail"]
+        assert tail["observations"] == 0
+        assert tail["percentile"] == 99.0
+        validate_serve_json(doc)
+
+
+class TestTailBlockRejections:
+    """validate_serve_json on corrupted ``prediction.tail`` blocks."""
+
+    @pytest.fixture(scope="class")
+    def tail_document(self, tb2, models_tb2):
+        # 48 completions push the global bucket past refit_every=32,
+        # so the document carries at least one fitted bucket.
+        spec = WorkloadSpec(n_requests=48, rate=2000.0, seed=4)
+        config = ServerConfig(n_gpus=2, seed=4, admission_percentile=99.0)
+        server = BlasServer(tb2, models_tb2, config)
+        return serve_document(server.serve(generate_workload(spec)))
+
+    def _mutated(self, document, mutate):
+        doc = copy.deepcopy(document)
+        mutate(doc)
+        return doc
+
+    def test_valid_as_built(self, tail_document):
+        validate_serve_json(tail_document)
+        assert tail_document["report"]["prediction"]["tail"]["buckets"]
+
+    def test_rejects_out_of_range_percentile(self, tail_document):
+        def mutate(d):
+            d["report"]["prediction"]["tail"]["percentile"] = 0
+        with pytest.raises(ReproError, match=r"tail\.percentile"):
+            validate_serve_json(self._mutated(tail_document, mutate))
+
+    def test_rejects_negative_rejection_count(self, tail_document):
+        def mutate(d):
+            d["report"]["prediction"]["tail"]["tail_rejections"] = -1
+        with pytest.raises(ReproError, match="tail_rejections"):
+            validate_serve_json(self._mutated(tail_document, mutate))
+
+    def test_rejects_non_positive_quantile(self, tail_document):
+        def mutate(d):
+            bucket = d["report"]["prediction"]["tail"]["buckets"][0]
+            bucket["quantiles"]["p99"] = 0.0
+        with pytest.raises(ReproError, match="p99"):
+            validate_serve_json(self._mutated(tail_document, mutate))
+
+    def test_rejects_empty_percentile_list(self, tail_document):
+        def mutate(d):
+            d["report"]["prediction"]["tail"]["percentiles"] = []
+        with pytest.raises(ReproError, match="percentiles"):
+            validate_serve_json(self._mutated(tail_document, mutate))
