@@ -1,0 +1,175 @@
+"""Bench: distributed SUMMA / streaming-gemv acceptance gate.
+
+Runs the ``repro.experiments.summa`` suite (pipelined-multicast SUMMA
+vs. the blocking-broadcast baseline, plus the chunked streaming gemv)
+on the quick-scale 4-GPU ring and records the ``repro.summa/v1``
+document as ``results/BENCH_summa.json``.
+
+Acceptance floors (ISSUE 10), enforced by ``--validate`` against the
+committed document only (no re-measurement, so CI is deterministic on
+any runner):
+
+* pipelined-vs-blocking geomean speedup >= 1.3x;
+* every model-picked panel/chunk within 5% of its exhaustive-sweep
+  optimum (``selection.worst_picked_within_pct``);
+* streaming-gemv overlap fraction >= 0.5 at the model-picked chunk.
+
+The panel/chunk sweep fans out through :func:`repro.parallel.pmap`
+(one task per grid point, grid-derived seeds); ``--determinism``
+proves the document is byte-identical between the serial path and a
+multi-process sweep, and across two same-seed runs.
+``REPRO_BENCH_WORKERS=N`` (or ``--workers``) sets the pool size.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_summa.py --scale tiny
+    PYTHONPATH=src python benchmarks/bench_summa.py --record \
+        --json benchmarks/results/BENCH_summa.json
+    PYTHONPATH=src python benchmarks/bench_summa.py --validate
+    PYTHONPATH=src python benchmarks/bench_summa.py --determinism
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+DEFAULT_JSON = RESULTS_DIR / "BENCH_summa.json"
+
+#: Acceptance floor: pipelined multicast vs. blocking broadcast.
+SPEEDUP_FLOOR = 1.3
+
+#: Acceptance ceiling: distance of the model's panel/chunk pick from
+#: the exhaustive-sweep optimum, in percent of the optimal makespan.
+PICK_WITHIN_PCT = 5.0
+
+#: Acceptance floor: profiler overlap fraction of the streaming gemv
+#: at the model-picked chunk.
+GEMV_OVERLAP_FLOOR = 0.5
+
+BENCH_SEED = 0
+
+
+def _workers(args) -> int:
+    if args.workers is not None:
+        return args.workers
+    return int(os.environ.get("REPRO_BENCH_WORKERS", "1"))
+
+
+def _run_doc(scale: str, workers: int) -> dict:
+    from repro.experiments import summa as summa_exp
+
+    return summa_exp.run(scale=scale, seed=BENCH_SEED, parallel=workers)
+
+
+def record(path: Path, scale: str, workers: int) -> dict:
+    from repro.experiments import summa as summa_exp
+
+    print(f"summa bench: scale={scale}, workers={workers}, recording")
+    doc = _run_doc(scale, workers)
+    summa_exp.validate_summa_json(doc)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w") as fh:
+        json.dump(doc, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+    print(summa_exp.render(doc))
+    print(f"wrote {path}")
+    return doc
+
+
+# ---------------------------------------------------------------------------
+# validation (committed document only — no re-measurement)
+# ---------------------------------------------------------------------------
+
+def validate(path: Path, check_floors: bool = True) -> None:
+    from repro.experiments import summa as summa_exp
+
+    with open(path) as fh:
+        doc = json.load(fh)
+    summa_exp.validate_summa_json(doc)
+
+    geomean = doc["gemm"]["speedup_geomean"]
+    worst_pick = doc["selection"]["worst_picked_within_pct"]
+    overlaps = [p["overlap_fraction"] for p in doc["gemv"]["problems"]]
+
+    if check_floors:
+        assert geomean >= SPEEDUP_FLOOR, (
+            f"pipelined-vs-blocking geomean {geomean:.2f}x below the "
+            f"{SPEEDUP_FLOOR}x acceptance floor")
+        assert worst_pick <= PICK_WITHIN_PCT, (
+            f"worst model pick is {worst_pick:.2f}% off the sweep "
+            f"optimum (limit {PICK_WITHIN_PCT}%)")
+        for p in doc["gemv"]["problems"]:
+            assert p["overlap_fraction"] >= GEMV_OVERLAP_FLOOR, (
+                f"gemv {p['dims']}: overlap "
+                f"{p['overlap_fraction']:.3f} below the "
+                f"{GEMV_OVERLAP_FLOOR} floor")
+
+    print(f"{path} valid: geomean speedup {geomean:.2f}x, worst pick "
+          f"{worst_pick:.2f}% off optimum, gemv overlap "
+          f"{min(overlaps):.3f}")
+
+
+# ---------------------------------------------------------------------------
+# determinism proof
+# ---------------------------------------------------------------------------
+
+def check_determinism(scale: str) -> None:
+    def doc_bytes(workers: int) -> bytes:
+        return json.dumps(_run_doc(scale, workers), sort_keys=True).encode()
+
+    a = doc_bytes(1)
+    b = doc_bytes(1)
+    assert a == b, "same-seed serial runs emitted different documents"
+    print(f"run-twice determinism ok ({len(a)} bytes, byte-identical)")
+    par = doc_bytes(4)
+    assert par == a, "parallel sweep diverged from the serial sweep"
+    print("serial-vs-parallel sweep equivalence ok (byte-identical)")
+
+
+# ---------------------------------------------------------------------------
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--scale", default="quick",
+                        choices=("tiny", "quick", "paper"))
+    parser.add_argument("--workers", type=int, default=None,
+                        help="sweep pool size (default: "
+                             "$REPRO_BENCH_WORKERS or 1)")
+    parser.add_argument("--json", type=Path, default=DEFAULT_JSON)
+    parser.add_argument("--record", action="store_true",
+                        help="run the suite and write the JSON")
+    parser.add_argument("--validate", action="store_true",
+                        help="validate the committed JSON schema + floors")
+    parser.add_argument("--no-floor-gate", action="store_true",
+                        help="with --validate: schema only")
+    parser.add_argument("--determinism", action="store_true",
+                        help="prove serial/parallel + run-twice identity")
+    args = parser.parse_args(argv)
+
+    did_something = False
+    if args.record:
+        record(args.json, args.scale, _workers(args))
+        did_something = True
+    if args.validate:
+        validate(args.json, check_floors=not args.no_floor_gate)
+        did_something = True
+    if args.determinism:
+        check_determinism("tiny")
+        did_something = True
+    if not did_something:
+        from repro.experiments import summa as summa_exp
+
+        print(f"summa bench: scale={args.scale} (dry run, not recorded)")
+        doc = _run_doc(args.scale, _workers(args))
+        summa_exp.validate_summa_json(doc)
+        print(summa_exp.render(doc))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -214,6 +214,10 @@ def cmd_profile(args) -> int:
     from .obs import (MetricsRegistry, merge_chrome_traces, merge_traces,
                       profile_document, profile_trace)
 
+    from contextlib import nullcontext
+
+    from .sim.engine import use_scheduler
+
     machine, models = _models_for(args)
     plan = resolve_plan(args.faults)
     if plan is not None:
@@ -221,6 +225,8 @@ def cmd_profile(args) -> int:
     problem = _build_problem(args)
     registry = MetricsRegistry()
     dtype = np.float64 if args.dtype == "d" else np.float32
+    sched_ctx = (use_scheduler(args.scheduler) if args.scheduler
+                 else nullcontext())
 
     if args.gpus > 1:
         if args.routine != "gemm":
@@ -230,9 +236,12 @@ def cmd_profile(args) -> int:
         from .runtime.multigpu import MultiGpuCoCoPeLia, predict_multi_gpu
 
         m, n, k = args.dims
-        lib = MultiGpuCoCoPeLia(machine, args.gpus, models,
-                                trace=True, metrics=registry)
-        result = lib.gemm(m=m, n=n, k=k, dtype=dtype, tile_size=args.tile)
+        with sched_ctx:
+            lib = MultiGpuCoCoPeLia(machine, args.gpus, models,
+                                    trace=True, metrics=registry,
+                                    sim_mode=args.sim_mode)
+            result = lib.gemm(m=m, n=n, k=k, dtype=dtype,
+                              tile_size=args.tile)
         seconds, tile = result.seconds, result.shards[0].tile_size
         predicted = (predict_multi_gpu(problem, args.gpus, models,
                                        model=args.model)
@@ -240,19 +249,21 @@ def cmd_profile(args) -> int:
         traces = lib.last_traces
         events = merge_traces(traces)
     else:
-        lib = CoCoPeLiaLibrary(machine, models, model=args.model,
-                               trace=True, metrics=registry)
-        calls = {
-            "gemm": lambda: lib.gemm(*args.dims, dtype=dtype,
-                                     tile_size=args.tile),
-            "gemv": lambda: lib.gemv(*args.dims, dtype=dtype,
-                                     tile_size=args.tile),
-            "syrk": lambda: lib.syrk(*args.dims, dtype=dtype,
-                                     tile_size=args.tile),
-            "axpy": lambda: lib.axpy(*args.dims, dtype=dtype,
-                                     tile_size=args.tile),
-        }
-        result = calls[args.routine]()
+        with sched_ctx:
+            lib = CoCoPeLiaLibrary(machine, models, model=args.model,
+                                   trace=True, metrics=registry,
+                                   sim_mode=args.sim_mode)
+            calls = {
+                "gemm": lambda: lib.gemm(*args.dims, dtype=dtype,
+                                         tile_size=args.tile),
+                "gemv": lambda: lib.gemv(*args.dims, dtype=dtype,
+                                         tile_size=args.tile),
+                "syrk": lambda: lib.syrk(*args.dims, dtype=dtype,
+                                         tile_size=args.tile),
+                "axpy": lambda: lib.axpy(*args.dims, dtype=dtype,
+                                         tile_size=args.tile),
+            }
+            result = calls[args.routine]()
         seconds, tile = result.seconds, result.tile_size
         predicted = result.predicted_seconds
         traces = [lib.last_trace]
@@ -299,6 +310,39 @@ def cmd_profile(args) -> int:
               f"({prof.events} events)")
     print(f"  wrote {profile_path} and {trace_path} "
           f"(load trace.json in chrome://tracing)")
+    return 0
+
+
+def cmd_summa(args) -> int:
+    """Run the distributed SUMMA/streaming-gemv suite; emit summa.json."""
+    import json
+    import os
+
+    from .experiments import summa as summa_exp
+
+    _machine, models = _models_for(args)
+    doc = summa_exp.run(
+        scale=args.scale,
+        machine=args.machine,
+        models=models,
+        n_gpus=args.gpus,
+        topology=args.topology,
+        gb_per_s=args.gb_per_s,
+        latency=args.latency,
+        depth=args.depth,
+        seed=args.seed,
+        scheduler=args.scheduler,
+        sim_mode=args.sim_mode,
+        parallel=args.parallel,
+    )
+    summa_exp.validate_summa_json(doc)
+    os.makedirs(args.out_dir, exist_ok=True)
+    out_path = os.path.join(args.out_dir, "summa.json")
+    with open(out_path, "w") as fh:
+        json.dump(doc, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+    print(summa_exp.render(doc))
+    print(f"  wrote {out_path}")
     return 0
 
 
@@ -613,10 +657,18 @@ def cmd_experiment(args) -> int:
     module = EXPERIMENTS[args.name]
     # Only the per-problem sweep experiments fan out; the rest are
     # cheap single-machine analyses with no parallel parameter.
-    if "parallel" in inspect.signature(module.run).parameters:
-        result = module.run(scale=args.scale, parallel=workers)
-    else:
-        result = module.run(scale=args.scale)
+    params = inspect.signature(module.run).parameters
+    kwargs = {"scale": args.scale}
+    if "parallel" in params:
+        kwargs["parallel"] = workers
+    # Simulator-core knobs, honored by the experiments that run the
+    # DES directly (fig7/table4/summa); defaults reproduce historical
+    # outputs byte-for-byte.
+    if "scheduler" in params:
+        kwargs["scheduler"] = getattr(args, "scheduler", None)
+    if "sim_mode" in params:
+        kwargs["sim_mode"] = getattr(args, "sim_mode", "exact")
+    result = module.run(**kwargs)
     print(module.render(result))
     return 0
 
@@ -626,7 +678,7 @@ def cmd_experiment(args) -> int:
 # ---------------------------------------------------------------------------
 
 def _add_sim_args(parser) -> None:
-    """Simulator-core knobs shared by the serving subcommands."""
+    """Simulator-core knobs shared by the DES-driving subcommands."""
     parser.add_argument("--sim-mode", default="exact",
                         choices=("exact", "fluid"),
                         help="transfer simulation: per-event 'exact' or "
@@ -703,6 +755,34 @@ def build_parser() -> argparse.ArgumentParser:
     p_prof.add_argument("--loc-a", type=_loc, default=Loc.HOST)
     p_prof.add_argument("--loc-b", type=_loc, default=Loc.HOST)
     p_prof.add_argument("--loc-c", type=_loc, default=Loc.HOST)
+    _add_sim_args(p_prof)
+
+    p_summa = sub.add_parser(
+        "summa", help="distributed SUMMA gemm + streaming gemv over a "
+                      "simulated inter-GPU fabric")
+    _add_machine_args(p_summa)
+    p_summa.add_argument("--gpus", type=int, default=4,
+                         help="peer GPUs on the fabric (default: 4)")
+    p_summa.add_argument("--topology", default="ring",
+                         choices=("ring", "all_to_all"),
+                         help="peer-link topology (default: ring)")
+    p_summa.add_argument("--gb-per-s", type=float, default=8.0,
+                         help="per-hop peer bandwidth in GB/s (default: 8)")
+    p_summa.add_argument("--latency", type=float, default=5e-6,
+                         help="per-hop latency in seconds (default: 5e-6)")
+    p_summa.add_argument("--depth", type=int, default=2,
+                         help="pipelined injection depth past the compute "
+                              "frontier (default: 2 = double buffering)")
+    p_summa.add_argument("--seed", type=int, default=0,
+                         help="suite seed (default: 0)")
+    p_summa.add_argument("--parallel", type=int, default=None,
+                         metavar="W",
+                         help="worker processes for the sweep grid; "
+                              "results are byte-identical for any count "
+                              "(default: serial)")
+    p_summa.add_argument("--out-dir", default=".",
+                         help="directory for summa.json (default: .)")
+    _add_sim_args(p_summa)
 
     p_serve = sub.add_parser("serve", help="serve a generated BLAS "
                              "workload on N simulated GPUs")
@@ -864,6 +944,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="processes for the per-problem sweeps; reported "
                             "numbers are identical for any count "
                             "(default: 1 = serial)")
+    _add_sim_args(p_exp)
 
     return parser
 
@@ -873,6 +954,7 @@ COMMANDS = {
     "deploy": cmd_deploy,
     "run": cmd_run,
     "profile": cmd_profile,
+    "summa": cmd_summa,
     "serve": cmd_serve,
     "chaos": cmd_chaos,
     "cluster": cmd_cluster,

@@ -37,6 +37,18 @@ from .models import (
     bidirectional_overlap_time,
 )
 from .registry import MODEL_REGISTRY, register_model, predict
+from .distributed import (
+    DistributedChoice,
+    SUMMA_VARIANTS,
+    candidate_chunks,
+    candidate_panels,
+    predict_streaming_gemv,
+    predict_summa,
+    select_gemv_chunk,
+    select_summa_panel,
+    shard_columns,
+    summa_panels,
+)
 from .select import TileChoice, candidate_tiles, scale_choice, select_tile
 from .rect import RectTile, RectChoice, predict_dr_rect, select_rect_tile
 from .predcache import PredCacheStats, PredictionCache
@@ -68,6 +80,16 @@ __all__ = [
     "MODEL_REGISTRY",
     "register_model",
     "predict",
+    "DistributedChoice",
+    "SUMMA_VARIANTS",
+    "candidate_chunks",
+    "candidate_panels",
+    "predict_streaming_gemv",
+    "predict_summa",
+    "select_gemv_chunk",
+    "select_summa_panel",
+    "shard_columns",
+    "summa_panels",
     "TileChoice",
     "candidate_tiles",
     "scale_choice",

@@ -168,6 +168,45 @@ class PredictionCache:
         self._times[key] = seconds
         return seconds
 
+    def distributed_choice(
+        self,
+        kind: str,
+        problem: CoCoProblem,
+        models: MachineModels,
+        topology,
+        n_gpus: int,
+        variant: str = "pipelined",
+        depth: int = 2,
+        interpolate: bool = False,
+    ):
+        """Memoized SUMMA-panel / streaming-gemv-chunk selection.
+
+        Keys add the interconnect's ``signature()`` and the GPU count
+        to the usual (models, problem) pair, so one shared cache can
+        score the same problem on different fabrics.
+        """
+        topo_sig = topology.signature() if topology is not None else None
+        key = (self._models_key(models), "dist", kind, problem.signature(),
+               n_gpus, topo_sig, variant, depth, interpolate)
+        choice = self._choices.get(key)
+        if choice is not None:
+            self.stats.hits += 1
+            return choice
+        self.stats.misses += 1
+        from .distributed import select_gemv_chunk, select_summa_panel
+
+        if kind == "summa":
+            choice = select_summa_panel(
+                problem, n_gpus, topology, models, variant=variant,
+                depth=depth, interpolate=interpolate)
+        elif kind == "streaming_gemv":
+            choice = select_gemv_chunk(
+                problem, n_gpus, topology, models, interpolate=interpolate)
+        else:
+            raise ValueError(f"unknown distributed choice kind {kind!r}")
+        self._choices[key] = choice
+        return choice
+
     def clear(self) -> None:
         """Drop all cached entries (stats are kept)."""
         self._choices.clear()

@@ -23,6 +23,7 @@ from . import fig5_dr_validation
 from . import fig6_tile_selection
 from . import fig7_performance
 from . import table4_improvement
+from . import summa
 from . import repetition
 from . import full_report
 
@@ -41,6 +42,7 @@ __all__ = [
     "fig6_tile_selection",
     "fig7_performance",
     "table4_improvement",
+    "summa",
     "repetition",
     "full_report",
 ]

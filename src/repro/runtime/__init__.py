@@ -15,8 +15,10 @@ from .result import RunResult
 from .tiles import Grid1D, Grid2D
 from .cache import TileCache
 from .routines import CoCoPeLiaLibrary
-from .multigpu import MultiGpuCoCoPeLia, predict_multi_gpu
+from .multigpu import MultiGpuCoCoPeLia, predict_multi_gpu, shard_columns, shard_problem
 from .hybrid import HybridCoCoPeLia, HybridSplit, select_split
+from .summa import SummaGemm, SummaResult
+from .streaming import StreamingGemv, StreamingGemvResult
 
 __all__ = [
     "RunResult",
@@ -26,6 +28,12 @@ __all__ = [
     "CoCoPeLiaLibrary",
     "MultiGpuCoCoPeLia",
     "predict_multi_gpu",
+    "shard_columns",
+    "shard_problem",
+    "SummaGemm",
+    "SummaResult",
+    "StreamingGemv",
+    "StreamingGemvResult",
     "HybridCoCoPeLia",
     "HybridSplit",
     "select_split",

@@ -160,12 +160,20 @@ class GemmTileScheduler(_PipelineBase):
         order: str = "reuse",
         use_cache: bool = True,
         prefetch_depth: Optional[int] = None,
+        a_provider=None,
     ) -> None:
         super().__init__(ctx, problem, hosts)
         if problem.routine.name != "gemm":
             raise SchedulerError(
                 f"GemmTileScheduler got a {problem.routine.name} problem"
             )
+        #: Optional external source for host-resident A tiles: called as
+        #: ``a_provider(i, l, rows, cols)`` instead of issuing a PCIe
+        #: fetch, returning the :class:`~repro.sim.stream.CudaEvent`
+        #: that fires when the tile lands (or None if already resident).
+        #: The multi-GPU runtime uses this to feed non-gateway GPUs from
+        #: the interconnect's broadcast instead of per-GPU h2d copies.
+        self.a_provider = a_provider
         if prefetch_depth is not None and prefetch_depth < 1:
             raise SchedulerError(
                 f"prefetch depth must be >= 1, got {prefetch_depth}"
@@ -233,6 +241,10 @@ class GemmTileScheduler(_PipelineBase):
         entry = TileEntry(matrix=mat)
         if op.loc is Loc.DEVICE:
             # Operand already resident on the GPU: no timed transfer.
+            if host.has_data:
+                mat.array[:, :] = host.array[r0:r0 + rows, c0:c0 + cols]
+        elif name == "A" and self.a_provider is not None:
+            entry.ready = self.a_provider(i, j, rows, cols)
             if host.has_data:
                 mat.array[:, :] = host.array[r0:r0 + rows, c0:c0 + cols]
         else:

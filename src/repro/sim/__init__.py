@@ -30,6 +30,14 @@ from .faults import (
     resolve_plan,
     tile_checksum,
 )
+from .interconnect import (
+    CollectiveHandle,
+    Interconnect,
+    TOPOLOGY_KINDS,
+    TopologySpec,
+    all_to_all_topology,
+    ring_topology,
+)
 from .link import DuplexLink, Direction, LinkDirectionConfig
 from .kernels import GemmTimeModel, AxpyTimeModel, KernelModelSet
 from .machine import MachineConfig, testbed_i, testbed_ii, get_testbed, TESTBEDS
@@ -61,6 +69,12 @@ __all__ = [
     "RetryPolicy",
     "resolve_plan",
     "tile_checksum",
+    "CollectiveHandle",
+    "Interconnect",
+    "TOPOLOGY_KINDS",
+    "TopologySpec",
+    "all_to_all_topology",
+    "ring_topology",
     "DuplexLink",
     "Direction",
     "LinkDirectionConfig",

@@ -40,7 +40,7 @@ import enum
 from collections import deque
 from dataclasses import dataclass
 from functools import partial
-from typing import Callable, Deque, Dict, Optional
+from typing import Callable, Deque, Dict, Optional, Tuple
 
 from ..errors import InvalidTransferError, SimulationError
 from .engine import ScheduledEvent, Simulator
@@ -210,10 +210,17 @@ class DuplexLink:
         trace=None,
         faults: Optional[FaultInjector] = None,
         metrics=None,
+        names: Optional[Tuple[str, str]] = None,
     ) -> None:
         self._sim = sim
-        self._h2d = _DirectionState(h2d, Direction.H2D.value)
-        self._d2h = _DirectionState(d2h, Direction.D2H.value)
+        #: Engine names used for trace spans and metric prefixes; the
+        #: inter-GPU interconnect overrides them (e.g. ``peer0>1``) so
+        #: peer links are distinguishable from the PCIe ``h2d``/``d2h``
+        #: engines in merged timelines.  Timing is name-independent.
+        h2d_name, d2h_name = (names if names is not None
+                              else (Direction.H2D.value, Direction.D2H.value))
+        self._h2d = _DirectionState(h2d, h2d_name)
+        self._d2h = _DirectionState(d2h, d2h_name)
         self._h2d.other = self._d2h
         self._d2h.other = self._h2d
         self._dirs: Dict[Direction, _DirectionState] = {

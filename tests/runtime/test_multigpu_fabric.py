@@ -1,0 +1,99 @@
+"""Retrofit pins: MultiGpuCoCoPeLia sourcing A through the fabric.
+
+The multi-GPU library can now attach an inter-GPU topology; GPU 0
+becomes the gateway that fetches A from the host once and multicasts
+each tile to its peers.  These tests pin the semantics:
+
+* infinite-bandwidth/zero-latency fabrics are wiring-independent —
+  ring and all-to-all produce byte-identical makespans;
+* ``topology=None`` still runs the original independent-copies path
+  (no fabric constructed, per-GPU traces only);
+* with a fabric, host-side A traffic collapses to a single copy and
+  the traces show collective spans on the peer links;
+* numerics are unchanged: the broadcast path computes the same C.
+"""
+
+import math
+
+import pytest
+
+from repro.blas import assert_allclose_blas, ref_gemm
+from repro.errors import SchedulerError
+from repro.runtime.multigpu import MultiGpuCoCoPeLia
+from repro.sim.interconnect import all_to_all_topology, ring_topology
+
+DIMS = (512, 768, 640)
+
+
+def _run(tb2, models_tb2, topology, trace=False, dims=DIMS, seed=53):
+    lib = MultiGpuCoCoPeLia(tb2, 4, models_tb2, seed=seed, trace=trace,
+                            topology=topology)
+    result = lib.gemm(*dims)
+    return lib, result
+
+
+class TestInfiniteFabricPin:
+    def test_ring_and_all_to_all_identical_when_free(self, tb2, models_tb2):
+        """Zero-cost fabric: wiring cannot matter, down to the bit."""
+        ring = ring_topology(4, gb_per_s=math.inf, latency=0.0)
+        a2a = all_to_all_topology(4, gb_per_s=math.inf, latency=0.0)
+        _, r_ring = _run(tb2, models_tb2, ring)
+        _, r_a2a = _run(tb2, models_tb2, a2a)
+        assert r_ring.seconds == r_a2a.seconds
+        assert [s.kernels for s in r_ring.shards] == \
+            [s.kernels for s in r_a2a.shards]
+
+
+class TestNoTopologyUnchanged:
+    def test_default_has_no_fabric_trace(self, tb2, models_tb2):
+        lib, _ = _run(tb2, models_tb2, None, trace=True)
+        assert len(lib.last_traces) == 4  # GPUs only, no fabric recorder
+        engines = {ev.engine for t in lib.last_traces for ev in t.events}
+        assert not any(e.startswith("peer") for e in engines)
+
+    def test_run_twice_identical(self, tb2, models_tb2):
+        _, a = _run(tb2, models_tb2, None)
+        _, b = _run(tb2, models_tb2, None)
+        assert a.seconds == b.seconds
+
+    def test_topology_gpu_count_must_match(self, tb2, models_tb2):
+        with pytest.raises(SchedulerError):
+            MultiGpuCoCoPeLia(tb2, 2, models_tb2,
+                              topology=ring_topology(4))
+
+
+class TestFabricSemantics:
+    def test_host_a_traffic_collapses_to_one_copy(self, tb2, models_tb2):
+        _, base = _run(tb2, models_tb2, None)
+        _, fab = _run(tb2, models_tb2, ring_topology(4, gb_per_s=8.0))
+        m, n, k = DIMS
+        # Without a fabric every GPU fetches the full A over PCIe;
+        # with one, only the gateway does.
+        saved = fab.h2d_bytes
+        assert saved <= base.h2d_bytes - 3 * m * k * 8 + 8  # slack: tiles
+        assert fab.seconds > 0
+
+    def test_traces_show_collective_spans(self, tb2, models_tb2):
+        lib, _ = _run(tb2, models_tb2, ring_topology(4, gb_per_s=8.0),
+                      trace=True)
+        assert len(lib.last_traces) == 5  # 4 GPUs + fabric
+        net = lib.last_traces[-1]
+        engines = {ev.engine for ev in net.events}
+        assert engines == {"peer0>1", "peer1>2", "peer2>3"}
+        assert any(ev.tag.startswith("bcast:A") for ev in net.events)
+
+    def test_numerics_unchanged_with_fabric(self, tb2, models_tb2, rng):
+        a = rng.standard_normal((96, 128))
+        b = rng.standard_normal((128, 112))
+        c = rng.standard_normal((96, 112))
+        expected = ref_gemm(a, b, c, 1.25, -0.75)
+        lib = MultiGpuCoCoPeLia(tb2, 4, models_tb2,
+                                topology=ring_topology(4, gb_per_s=8.0))
+        lib.gemm(a=a, b=b, c=c, alpha=1.25, beta=-0.75, tile_size=48)
+        assert_allclose_blas(c, expected, reduction_depth=128)
+
+    def test_fabric_run_deterministic(self, tb2, models_tb2):
+        topo = ring_topology(4, gb_per_s=8.0)
+        _, a = _run(tb2, models_tb2, topo)
+        _, b = _run(tb2, models_tb2, topo)
+        assert a.seconds == b.seconds

@@ -1,0 +1,91 @@
+"""Tests for the streaming distributed gemv runtime."""
+
+import numpy as np
+import pytest
+
+from repro.core.params import gemv_problem
+from repro.core import select_gemv_chunk
+from repro.deploy import DeploymentConfig, deploy
+from repro.deploy.pipeline import DEFAULT_ROUTINES
+from repro.errors import BlasError
+from repro.obs import merge_traces, profile_trace
+from repro.runtime import StreamingGemv
+from repro.sim.interconnect import ring_topology
+
+
+@pytest.fixture(scope="module")
+def ring4():
+    return ring_topology(4, gb_per_s=8.0)
+
+
+@pytest.fixture(scope="module")
+def models_gemv(tb2):
+    return deploy(tb2, DeploymentConfig.quick(
+        routines=DEFAULT_ROUTINES + (("gemv", np.float64),)))
+
+
+class TestStreamingMechanics:
+    def test_flops_and_h2d_accounting(self, tb2, ring4):
+        m, n = 4096, 4096
+        lib = StreamingGemv(tb2, ring4)
+        r = lib.gemv(m, n, chunk=1024)
+        # gemv kernels plus the 3 ring-reduce axpy adds
+        assert r.flops == pytest.approx(2.0 * m * n + 3 * 2.0 * m)
+        # Every GPU streams its A shard and x slice exactly once.
+        assert r.h2d_bytes == (m * n + n) * 8
+        # y travels the reduce chain 1->2->3->0: 3 sends, 1 hop each
+        # on this ring ordering... each send crosses one link.
+        assert r.fabric_bytes == 3 * m * 8
+
+    def test_single_gpu_degenerate(self, tb2):
+        lib = StreamingGemv(tb2)  # no topology: one local GPU
+        r = lib.gemv(2048, 2048, chunk=512)
+        assert r.n_gpus == 1
+        assert r.fabric_bytes == 0
+        assert r.seconds > 0
+
+    def test_narrower_than_fleet(self, tb2, ring4):
+        # n < n_gpus: some GPUs get empty shards but the reduce chain
+        # still closes.
+        r = StreamingGemv(tb2, ring4).gemv(1024, 2, chunk=256)
+        assert r.seconds > 0
+
+    def test_deterministic_across_instances(self, tb2, ring4):
+        a = StreamingGemv(tb2, ring4, seed=5).gemv(4096, 4096, chunk=1024)
+        b = StreamingGemv(tb2, ring4, seed=5).gemv(4096, 4096, chunk=1024)
+        assert a.seconds == b.seconds
+
+    def test_chunk_auto_requires_models(self, tb2, ring4):
+        with pytest.raises(BlasError):
+            StreamingGemv(tb2, ring4).gemv(2048, 2048)
+
+
+class TestStreamingModel:
+    def test_prediction_tracks_achieved(self, tb2, models_gemv, ring4):
+        problem = gemv_problem(8192, 8192)
+        choice = select_gemv_chunk(problem, 4, ring4, models_gemv)
+        achieved = StreamingGemv(tb2, ring4).gemv(
+            8192, 8192, chunk=choice.value).seconds
+        assert abs(choice.predicted_time - achieved) / achieved < 0.10
+
+    def test_overlap_at_model_picked_chunk(self, tb2, models_gemv, ring4):
+        """ISSUE 10 acceptance: overlap >= 0.5 at the model's chunk."""
+        lib = StreamingGemv(tb2, ring4, models=models_gemv, trace=True)
+        r = lib.gemv(8192, 8192)
+        assert r.predicted_seconds is not None
+        labels = [f"gpu{g}" for g in range(4)] + ["net"]
+        report = profile_trace(merge_traces(lib.last_traces, labels=labels))
+        assert report.overlap_fraction >= 0.5
+
+    def test_model_pick_within_5pct_of_sweep(self, tb2, models_gemv, ring4):
+        lib = StreamingGemv(tb2, ring4, models=models_gemv, seed=5)
+        auto = lib.gemv(8192, 8192)
+        sweep = {
+            c: StreamingGemv(tb2, ring4, seed=5).gemv(
+                8192, 8192, chunk=c).seconds
+            for c in (256, 512, 1024, 2048)
+        }
+        best = min(sweep.values())
+        picked = StreamingGemv(tb2, ring4, seed=5).gemv(
+            8192, 8192, chunk=auto.chunk).seconds
+        assert (picked - best) / best <= 0.05

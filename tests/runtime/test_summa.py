@@ -1,0 +1,111 @@
+"""Tests for the distributed SUMMA gemm runtime."""
+
+import pytest
+
+from repro.errors import BlasError, SchedulerError
+from repro.obs import merge_traces, profile_trace
+from repro.core import gemm_problem, predict_summa
+from repro.runtime import SummaGemm
+from repro.sim.interconnect import all_to_all_topology, ring_topology
+
+
+@pytest.fixture(scope="module")
+def ring4():
+    return ring_topology(4, gb_per_s=8.0)
+
+
+class TestSummaMechanics:
+    def test_flops_match_problem(self, tb2, ring4):
+        lib = SummaGemm(tb2, ring4)
+        r = lib.gemm(1024, 1024, 1024, panel=256)
+        assert r.flops == pytest.approx(2.0 * 1024 ** 3)
+        assert r.kernels == 4 * 4 * 1 * 4  # per GPU: 4 row x 1 col x 4 panels
+
+    def test_fabric_bytes_are_conserved(self, tb2, ring4):
+        # Each of the 4 panels is an M x p slice multicast to 3 peers;
+        # on the ring the payload crosses exactly 3 links.
+        lib = SummaGemm(tb2, ring4)
+        r = lib.gemm(1024, 1024, 1024, panel=256)
+        assert r.fabric_bytes == 3 * 1024 * 1024 * 8
+
+    def test_pipelined_beats_blocking(self, tb2, ring4):
+        lib = SummaGemm(tb2, ring4)
+        blk = lib.gemm(2048, 2048, 2048, panel=512, variant="blocking")
+        pipe = lib.gemm(2048, 2048, 2048, panel=512, variant="pipelined")
+        assert blk.seconds / pipe.seconds >= 1.3
+
+    def test_deterministic_across_instances(self, tb2, ring4):
+        a = SummaGemm(tb2, ring4, seed=61).gemm(1024, 1024, 1024, panel=256)
+        b = SummaGemm(tb2, ring4, seed=61).gemm(1024, 1024, 1024, panel=256)
+        assert a.seconds == b.seconds
+
+    def test_all_to_all_not_slower_than_ring(self, tb2, ring4):
+        ring = SummaGemm(tb2, ring4, seed=61).gemm(
+            1024, 1024, 1024, panel=256, variant="blocking")
+        a2a = SummaGemm(tb2, all_to_all_topology(4, gb_per_s=8.0),
+                        seed=61).gemm(1024, 1024, 1024, panel=256,
+                                      variant="blocking")
+        assert a2a.seconds <= ring.seconds
+
+    def test_validation(self, tb2, ring4):
+        lib = SummaGemm(tb2, ring4)
+        with pytest.raises(BlasError):
+            lib.gemm(512, 512, 512, panel=256, variant="bulk")
+        with pytest.raises(SchedulerError):
+            lib.gemm(512, 512, 512, panel=256, depth=1)
+        with pytest.raises(BlasError):
+            lib.gemm(512, 512, 512)  # panel=None without models
+
+
+class TestSummaModel:
+    def test_blocking_prediction_tracks_achieved(self, tb2, models_tb2,
+                                                 ring4):
+        problem = gemm_problem(2048, 2048, 2048)
+        predicted = predict_summa(problem, 512, models_tb2, n_gpus=4,
+                                  topology=ring4, variant="blocking")
+        achieved = SummaGemm(tb2, ring4).gemm(
+            2048, 2048, 2048, panel=512, variant="blocking").seconds
+        assert abs(predicted - achieved) / achieved < 0.10
+
+    def test_pipelined_prediction_tracks_achieved(self, tb2, models_tb2,
+                                                  ring4):
+        problem = gemm_problem(2048, 2048, 2048)
+        predicted = predict_summa(problem, 512, models_tb2, n_gpus=4,
+                                  topology=ring4, variant="pipelined")
+        achieved = SummaGemm(tb2, ring4).gemm(
+            2048, 2048, 2048, panel=512, variant="pipelined").seconds
+        assert abs(predicted - achieved) / achieved < 0.15
+
+    def test_model_pick_within_5pct_of_sweep(self, tb2, models_tb2, ring4):
+        lib = SummaGemm(tb2, ring4, models=models_tb2, seed=61)
+        auto = lib.gemm(2048, 2048, 2048)
+        assert auto.predicted_seconds is not None
+        sweep = {
+            p: SummaGemm(tb2, ring4, seed=61).gemm(
+                2048, 2048, 2048, panel=p).seconds
+            for p in (256, 512)
+        }
+        best = min(sweep.values())
+        picked = SummaGemm(tb2, ring4, seed=61).gemm(
+            2048, 2048, 2048, panel=auto.panel).seconds
+        assert (picked - best) / best <= 0.05
+
+
+class TestSummaTracing:
+    def test_overlap_fraction_above_half(self, tb2, ring4, check_trace):
+        lib = SummaGemm(tb2, ring4, trace=True)
+        lib.gemm(2048, 2048, 2048, panel=512, variant="pipelined")
+        assert len(lib.last_traces) == 5  # 4 GPUs + fabric
+        for trace in lib.last_traces:
+            check_trace(trace)
+        labels = [f"gpu{g}" for g in range(4)] + ["net"]
+        report = profile_trace(merge_traces(lib.last_traces, labels=labels))
+        assert report.overlap_fraction >= 0.5
+
+    def test_trace_shows_peer_engines(self, tb2, ring4):
+        lib = SummaGemm(tb2, ring4, trace=True)
+        lib.gemm(1024, 1024, 1024, panel=256)
+        # Panels owned by GPUs 1-3 wrap clockwise through peer3>0, so
+        # every ring link carries traffic.
+        engines = {ev.engine for ev in lib.last_traces[-1].events}
+        assert engines == {"peer0>1", "peer1>2", "peer2>3", "peer3>0"}
